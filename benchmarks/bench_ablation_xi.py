@@ -1,0 +1,62 @@
+"""Ablations of FedTrip's design choices (DESIGN.md's ablation index).
+
+1. **xi scheduling**: the paper's staleness-scaled xi vs a constant xi vs a
+   participation-normalized xi vs xi=0 (which reduces FedTrip to FedProx).
+2. **Historical anchor**: the client's last *local* model (paper) vs the
+   last *global* model it received — isolates the value of client-specific
+   history.
+
+Expectation (lenient, mini-scale): the staleness-scaled, last-local variant
+is at or near the top; xi=0 (no push term) is not better than the full
+method; the ablations never beat the paper's design by a wide margin.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from harness import print_table, run_case, save_json
+
+ROUNDS = 30
+MU = 0.4
+VARIANTS = {
+    "paper (staleness, last-local)": {"mu": MU},
+    "constant xi=1": {"mu": MU, "xi_mode": "constant", "xi_value": 1.0},
+    "normalized xi": {"mu": MU, "xi_mode": "normalized", "participation_rate": 0.4},
+    "no push (xi=0 == FedProx)": {"mu": MU, "xi_mode": "constant", "xi_value": 0.0},
+    "last-global anchor": {"mu": MU, "historical_source": "last-global"},
+}
+
+
+def _run():
+    results = {}
+    for label, overrides in VARIANTS.items():
+        hist = run_case(
+            "mini_fmnist", "cnn", "fedtrip", rounds=ROUNDS, lr=0.02,
+            partition="dirichlet", alpha=0.5, strategy_overrides=overrides,
+        )
+        results[label] = {
+            "best_accuracy": hist.best_accuracy(),
+            "final5": hist.final_accuracy_stats(last_k=5)["mean"],
+            "rounds_to_80": hist.rounds_to_accuracy(80.0),
+        }
+    return results
+
+
+def test_ablation_xi(benchmark):
+    results = run_once(benchmark, _run)
+    print_table(
+        "Ablation: xi scheduling and historical anchor (CNN/FMNIST Dir-0.5)",
+        ["variant", "best acc", "final5", "rounds to 80%"],
+        [[k, f"{v['best_accuracy']:.2f}", f"{v['final5']:.2f}",
+          str(v["rounds_to_80"]) if v["rounds_to_80"] else f">{ROUNDS}"]
+         for k, v in results.items()],
+    )
+    save_json("ablation_xi", results)
+
+    paper = results["paper (staleness, last-local)"]
+    best = max(v["final5"] for v in results.values())
+    # The paper's design is competitive with every ablation...
+    assert paper["final5"] >= best - 4.0, results
+    # ...and the push term contributes: dropping it (xi=0) should not give a
+    # clearly better final model.
+    assert results["no push (xi=0 == FedProx)"]["final5"] <= paper["final5"] + 3.0

@@ -1,0 +1,89 @@
+"""Fig. 4: client label distributions under the four heterogeneity types.
+
+Regenerates the data behind the figure (a 10-client x 10-class count matrix
+per setting) and asserts its qualitative description in Sec. V-A: under
+Dir-0.5 most clients hold ~3-4 dominant classes, under Dir-0.1 only 1-2,
+under Orthogonal-5 exactly 2, under Orthogonal-10 exactly 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+from harness import get_data, print_table, save_json
+from repro.data import heterogeneity_summary
+
+
+SETTINGS = [
+    ("Dir-0.1", {"partition": "dirichlet", "alpha": 0.1}),
+    ("Dir-0.5", {"partition": "dirichlet", "alpha": 0.5}),
+    ("Orthogonal-5", {"partition": "orthogonal", "n_clusters": 5}),
+    ("Orthogonal-10", {"partition": "orthogonal", "n_clusters": 10}),
+]
+
+
+def _dominant_classes(counts: np.ndarray, mass: float = 0.9) -> np.ndarray:
+    """Per client: how many classes cover ``mass`` of its samples."""
+    out = []
+    for row in counts:
+        order = np.sort(row)[::-1]
+        cum = np.cumsum(order) / max(row.sum(), 1)
+        out.append(int(np.searchsorted(cum, mass) + 1))
+    return np.array(out)
+
+
+def _run():
+    results = {}
+    for label, kwargs in SETTINGS:
+        data = get_data(
+            "mini_mnist", 10,
+            kwargs["partition"],
+            alpha=kwargs.get("alpha"),
+            n_clusters=kwargs.get("n_clusters"),
+        )
+        counts = data.label_counts()
+        results[label] = {
+            "counts": counts.tolist(),
+            "classes_present": (counts > 0).sum(axis=1).tolist(),
+            "dominant_classes": _dominant_classes(counts).tolist(),
+            "summary": heterogeneity_summary(counts),
+        }
+    return results
+
+
+def test_fig4_partitions(benchmark):
+    results = run_once(benchmark, _run)
+
+    rows = []
+    for label, r in results.items():
+        rows.append([
+            label,
+            f"{np.mean(r['classes_present']):.1f}",
+            f"{np.mean(r['dominant_classes']):.1f}",
+            f"{r['summary']['mean_normalized_entropy']:.3f}",
+        ])
+    print_table(
+        "Fig. 4: label-distribution skew per heterogeneity type",
+        ["setting", "mean classes/client", "mean dominant classes", "norm. entropy"],
+        rows,
+    )
+    from repro.analysis import heatmap
+
+    for label, r in results.items():
+        print(heatmap(np.asarray(r["counts"]),
+                      row_labels=[f"cl{k}" for k in range(len(r["counts"]))],
+                      col_labels=[str(c) for c in range(len(r["counts"][0]))],
+                      title=f"Fig. 4 [{label}] client x class counts"))
+    save_json("fig4", results)
+
+    # Sec. V-A's qualitative description.
+    dom01 = np.mean(results["Dir-0.1"]["dominant_classes"])
+    dom05 = np.mean(results["Dir-0.5"]["dominant_classes"])
+    assert dom01 <= 2.5, f"Dir-0.1 clients should hold 1-2 dominant classes, got {dom01}"
+    assert dom01 < dom05 <= 5.5
+    assert all(c == 2 for c in results["Orthogonal-5"]["classes_present"])
+    assert all(c == 1 for c in results["Orthogonal-10"]["classes_present"])
+    # Entropy ordering: Orth-10 < Dir-0.1 < Dir-0.5.
+    e = {k: r["summary"]["mean_normalized_entropy"] for k, r in results.items()}
+    assert e["Orthogonal-10"] < e["Dir-0.1"] < e["Dir-0.5"]

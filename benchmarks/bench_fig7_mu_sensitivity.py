@@ -1,0 +1,75 @@
+"""Fig. 7: sensitivity of FedTrip to the regularization strength mu.
+
+Sweeps mu over the paper's [0.1, 2.5] range on (a-c) CNN / MNIST-like data
+under Dir-0.1, Dir-0.5 and Orthogonal-5, and (d) MLP / FMNIST-like data
+under Dir-0.5, reporting best accuracy and rounds-to-target.
+
+Paper's shape: small mu converges slowly; moderate mu is the accuracy
+sweet spot; large mu keeps accelerating briefly but trades accuracy away,
+with the orthogonal setting more stable in mu than Dirichlet.
+
+Mini-scale note: our runs use lr ~3x the paper's, so the sweet spot and the
+degradation onset shift to smaller mu by roughly that factor (the paper's
+0.4-1.5 window maps to ~0.1-0.5 here); the *shape* — rise, plateau,
+degradation — is what this bench asserts.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from harness import print_table, run_case, save_json
+
+MUS = (0.05, 0.1, 0.2, 0.4, 0.8, 1.5, 2.5)
+ROUNDS = 30
+PANELS = [
+    ("CNN/MNIST Dir-0.1", "mini_mnist", "cnn", 0.02,
+     {"partition": "dirichlet", "alpha": 0.1}, 80.0),
+    ("CNN/MNIST Dir-0.5", "mini_mnist", "cnn", 0.02,
+     {"partition": "dirichlet", "alpha": 0.5}, 90.0),
+    ("CNN/MNIST Orth-5", "mini_mnist", "cnn", 0.02,
+     {"partition": "orthogonal", "n_clusters": 5}, 80.0),
+    ("MLP/FMNIST Dir-0.5", "mini_fmnist", "mlp", 0.05,
+     {"partition": "dirichlet", "alpha": 0.5}, 88.0),
+]
+
+
+def _run():
+    results = {}
+    for label, dataset, model, lr, pkw, target in PANELS:
+        panel = {}
+        for mu in MUS:
+            hist = run_case(dataset, model, "fedtrip", rounds=ROUNDS, lr=lr,
+                            strategy_overrides={"mu": mu}, **pkw)
+            panel[str(mu)] = {
+                "best_accuracy": hist.best_accuracy(),
+                "final5": hist.final_accuracy_stats(last_k=5)["mean"],
+                "rounds_to_target": hist.rounds_to_accuracy(target),
+            }
+        results[label] = {"target": target, "sweep": panel}
+    return results
+
+
+def test_fig7_mu_sensitivity(benchmark):
+    results = run_once(benchmark, _run)
+
+    for label, case in results.items():
+        rows = [[mu, f"{v['best_accuracy']:.2f}", f"{v['final5']:.2f}",
+                 str(v["rounds_to_target"]) if v["rounds_to_target"] else f">{ROUNDS}"]
+                for mu, v in case["sweep"].items()]
+        print_table(f"Fig. 7 [{label}] target={case['target']:.0f}%",
+                    ["mu", "best acc", "final5", "rounds to target"], rows)
+    save_json("fig7", results)
+
+    for label, case in results.items():
+        sweep = case["sweep"]
+        best_by_mu = {float(mu): v["best_accuracy"] for mu, v in sweep.items()}
+        peak_mu = max(best_by_mu, key=best_by_mu.get)
+        # Shape 1: the accuracy peak is interior — not at the largest mu.
+        assert peak_mu < max(MUS), f"{label}: accuracy peak at the mu boundary"
+        # Shape 2: the largest mu degrades accuracy vs the peak.
+        assert best_by_mu[max(MUS)] < best_by_mu[peak_mu] - 0.5, label
+    # Shape 3: FedTrip converges successfully (hits target for some mu)
+    # in every panel — the paper's "under all settings, FedTrip eventually
+    # converges successfully".
+    for label, case in results.items():
+        assert any(v["rounds_to_target"] is not None for v in case["sweep"].values()), label

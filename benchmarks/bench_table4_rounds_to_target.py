@@ -1,0 +1,72 @@
+"""Table IV: communication rounds until the global model reaches the target
+accuracy, six methods x six model/dataset cases, Dir-0.5, 4-of-10 clients.
+
+Paper's shape: FedTrip (with MOON close on some cases) needs the fewest
+rounds; FedAvg/FedProx need ~1.4-2.7x more; SlowMo/FedDyn are worst on the
+harder datasets.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from harness import (
+    METHODS,
+    TABLE4_CASES,
+    fmt_rounds,
+    print_table,
+    relative,
+    run_case,
+    save_json,
+)
+
+
+def _run_grid():
+    results = {}
+    for label, dataset, model, lr, rounds, target, overrides in TABLE4_CASES:
+        row = {}
+        for method in METHODS:
+            hist = run_case(dataset, model, method, rounds=rounds, lr=lr,
+                            strategy_overrides=overrides.get(method))
+            row[method] = {
+                "rounds_to_target": hist.rounds_to_accuracy(target),
+                "best_accuracy": hist.best_accuracy(),
+                "total_gflops": hist.total_gflops(),
+            }
+        results[label] = {"target": target, "budget_rounds": rounds, "methods": row}
+    return results
+
+
+def test_table4_rounds_to_target(benchmark):
+    results = run_once(benchmark, _run_grid)
+
+    header = ["method"] + [f"{label} ({case['target']:.0f}%)"
+                           for label, case in results.items()]
+    rows = []
+    for method in METHODS:
+        cells = [method]
+        for label, case in results.items():
+            r = case["methods"][method]["rounds_to_target"]
+            base = case["methods"]["fedavg"]["rounds_to_target"]
+            cells.append(f"{fmt_rounds(r, case['budget_rounds'])} ({relative(base, r)})")
+        rows.append(cells)
+    print_table("Table IV: rounds to target accuracy (vs FedAvg)", header, rows)
+    save_json("table4", results)
+
+    # Shape assertions (lenient: mini-scale noise; see DESIGN.md).
+    near_best = 0
+    beats_or_ties_fedavg = 0
+    for label, case in results.items():
+        rounds = {m: case["methods"][m]["rounds_to_target"] for m in METHODS}
+        reached = {m: r for m, r in rounds.items() if r is not None}
+        assert "fedtrip" in reached, f"FedTrip never hit the target in {label}"
+        if reached["fedtrip"] <= min(reached.values()) + 2:
+            near_best += 1
+        r_avg = rounds["fedavg"]
+        if r_avg is None or reached["fedtrip"] <= r_avg:
+            beats_or_ties_fedavg += 1
+    assert near_best >= len(results) // 2, (
+        f"FedTrip near-fastest in only {near_best}/{len(results)} cases"
+    )
+    assert beats_or_ties_fedavg >= len(results) - 1, (
+        f"FedTrip should not lose to FedAvg: {beats_or_ties_fedavg}/{len(results)}"
+    )

@@ -1,0 +1,56 @@
+"""Table V: total training GFLOPs (feedforward + attaching operations) per
+method over the training run, plus the paper's headline ratios.
+
+Reuses the Table IV training runs (session-level memoization), exactly as
+the paper derives Table V from the Table IV experiments.
+
+Paper's shape: FedTrip's total cost is the lowest or tied-lowest; MOON's is
+several times higher (4.52x FedTrip on average in the paper) because of its
+per-batch extra forward passes.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from harness import METHODS, TABLE4_CASES, print_table, run_case, save_json
+
+
+def _run():
+    results = {}
+    for label, dataset, model, lr, rounds, target, overrides in TABLE4_CASES:
+        row = {}
+        for method in METHODS:
+            hist = run_case(dataset, model, method, rounds=rounds, lr=lr,
+                            strategy_overrides=overrides.get(method))
+            row[method] = {
+                "total_gflops": hist.total_gflops(),
+                "gflops_to_target": hist.flops_to_accuracy(target),
+            }
+        results[label] = row
+    return results
+
+
+def test_table5_gflops(benchmark):
+    results = run_once(benchmark, _run)
+
+    header = ["case"] + list(METHODS)
+    rows = []
+    for label, row in results.items():
+        rows.append([label] + [f"{row[m]['total_gflops']:.2f}" for m in METHODS])
+    print_table("Table V: total training GFLOPs over the full run", header, rows)
+
+    ratio_rows = []
+    for label, row in results.items():
+        moon_over_trip = row["moon"]["total_gflops"] / row["fedtrip"]["total_gflops"]
+        trip_over_avg = row["fedtrip"]["total_gflops"] / row["fedavg"]["total_gflops"]
+        ratio_rows.append([label, f"{moon_over_trip:.2f}x", f"{trip_over_avg:.3f}x"])
+    print_table(
+        "Table V ratios", ["case", "MOON / FedTrip", "FedTrip / FedAvg"], ratio_rows
+    )
+    save_json("table5", results)
+
+    # Shape: MOON pays a large compute premium in every case; FedTrip's
+    # attach overhead is negligible (<10% over FedAvg).
+    for label, row in results.items():
+        assert row["moon"]["total_gflops"] > 1.3 * row["fedtrip"]["total_gflops"], label
+        assert row["fedtrip"]["total_gflops"] < 1.1 * row["fedavg"]["total_gflops"], label

@@ -1,0 +1,81 @@
+"""Table VI: rounds to target accuracy with 4-of-50 client participation.
+
+The paper's scalability study: the server samples 4 of 50 clients, so the
+participation rate drops from 0.4 to 0.08 and FedTrip's staleness-scaled xi
+grows (E[xi] shrinks per Theorem 1 — slower but still fastest overall).
+
+Paper's shape: FedTrip fastest; MOON degrades notably at low participation
+(its "previous model" is very stale); several methods miss the target
+within budget (the paper's '>' entries).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from harness import METHODS, fmt_rounds, print_table, relative, run_case, save_json
+
+ROUNDS = 24
+# (label, dataset, partition kwargs, target) — CNN everywhere, 4-of-50.
+# Targets are lower than Table IV's: with 80 samples/client and p=0.08 the
+# mini-scale runs converge more slowly (the paper's 4-50 experiments see
+# the opposite because their total data grows; our mini datasets are capped).
+CASES = [
+    ("MNIST Dir-0.1", "mini_mnist", {"partition": "dirichlet", "alpha": 0.1}, 50.0),
+    ("MNIST Dir-0.5", "mini_mnist", {"partition": "dirichlet", "alpha": 0.5}, 70.0),
+    ("MNIST Orth-5", "mini_mnist", {"partition": "orthogonal", "n_clusters": 5}, 55.0),
+    ("FMNIST Dir-0.1", "mini_fmnist", {"partition": "dirichlet", "alpha": 0.1}, 45.0),
+    ("FMNIST Dir-0.5", "mini_fmnist", {"partition": "dirichlet", "alpha": 0.5}, 60.0),
+    ("FMNIST Orth-5", "mini_fmnist", {"partition": "orthogonal", "n_clusters": 5}, 42.0),
+]
+
+
+def _run():
+    results = {}
+    for label, dataset, pkw, target in CASES:
+        row = {}
+        for method in METHODS:
+            hist = run_case(
+                dataset, "cnn", method, rounds=ROUNDS, lr=0.02,
+                n_clients=50, clients_per_round=4, samples_per_client=80,
+                batch_size=40, **pkw,
+            )
+            row[method] = {
+                "rounds_to_target": hist.rounds_to_accuracy(target),
+                "best_accuracy": hist.best_accuracy(),
+            }
+        results[label] = {"target": target, "methods": row}
+    return results
+
+
+def test_table6_scalability(benchmark):
+    results = run_once(benchmark, _run)
+
+    header = ["method"] + [f"{lbl} ({case['target']:.0f}%)" for lbl, case in results.items()]
+    rows = []
+    for method in METHODS:
+        cells = [method]
+        for lbl, case in results.items():
+            r = case["methods"][method]["rounds_to_target"]
+            base = case["methods"]["fedavg"]["rounds_to_target"]
+            cells.append(f"{fmt_rounds(r, ROUNDS)} ({relative(base, r)})")
+        rows.append(cells)
+    print_table("Table VI: rounds to target, 4-of-50 clients (vs FedAvg)", header, rows)
+    save_json("table6", results)
+
+    # Shape: FedTrip reaches the target in a majority of cases and, where
+    # both reach it, is at least as fast as FedAvg most of the time.
+    reached = sum(
+        case["methods"]["fedtrip"]["rounds_to_target"] is not None
+        for case in results.values()
+    )
+    assert reached >= len(CASES) - 2, f"FedTrip reached target in only {reached} cases"
+    wins = ties = comparable = 0
+    for case in results.values():
+        rt = case["methods"]["fedtrip"]["rounds_to_target"]
+        ra = case["methods"]["fedavg"]["rounds_to_target"]
+        if rt is not None and ra is not None:
+            comparable += 1
+            wins += rt < ra
+            ties += rt == ra
+    if comparable:
+        assert (wins + ties) >= comparable / 2

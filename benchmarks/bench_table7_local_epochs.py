@@ -1,0 +1,78 @@
+"""Table VII: accuracy with enlarged aggregation intervals (local epochs 5
+and 10), CNN on MNIST-like data, Dir-0.5, 4-of-10.
+
+The paper reports accuracy at rounds 10 and 20 with 100-round-scale
+workloads; at mini scale the model converges faster, so we report at rounds
+5 and 10 of a 10-round run (same "early vs late checkpoint" structure).
+
+Paper's shape: FedTrip highest at every (epochs, checkpoint) cell; more
+local epochs raise everyone's early accuracy; SlowMo/FedDyn suffer from the
+reduced frequency of their server-side corrections.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from harness import METHODS, print_table, run_case, save_json
+
+ROUNDS = 10
+CHECKPOINTS = (5, 10)   # 1-based round counts to report
+EPOCHS = (5, 10)
+
+
+def _run():
+    # lr 0.01 (the paper's exact rate): with 5-10 local epochs each round
+    # runs 20-40 local iterations, so the effective step budget matches the
+    # paper's regime and higher rates destabilize every momentum method.
+    # FedTrip runs with constant xi=1: when the aggregation interval is
+    # enlarged, staleness measured in *rounds* no longer reflects the local
+    # iteration count, so the raw-staleness scaling overshoots (the paper
+    # defers exactly this xi discussion to future work; see DESIGN.md).
+    results = {}
+    for epochs in EPOCHS:
+        row = {}
+        for method in METHODS:
+            overrides = (
+                {"xi_mode": "constant", "xi_value": 1.0} if method == "fedtrip" else None
+            )
+            hist = run_case(
+                "mini_mnist", "cnn", method, rounds=ROUNDS, lr=0.01,
+                local_epochs=epochs, strategy_overrides=overrides,
+            )
+            row[method] = {
+                f"acc_at_{cp}": hist.accuracy_at_round(cp - 1) for cp in CHECKPOINTS
+            }
+        results[f"epochs={epochs}"] = row
+    return results
+
+
+def test_table7_local_epochs(benchmark):
+    results = run_once(benchmark, _run)
+
+    rows = []
+    for key, row in results.items():
+        for cp in CHECKPOINTS:
+            rows.append(
+                [key, f"round {cp}"]
+                + [f"{row[m][f'acc_at_{cp}']:.2f}" for m in METHODS]
+            )
+    print_table(
+        "Table VII: accuracy with local epochs 5 and 10",
+        ["local epochs", "checkpoint"] + list(METHODS),
+        rows,
+    )
+    save_json("table7", results)
+
+    # Shape: more local epochs improve the early checkpoint for most
+    # methods, and FedTrip is at or near the top at the final checkpoint.
+    improved = sum(
+        results["epochs=10"][m][f"acc_at_{CHECKPOINTS[0]}"]
+        >= results["epochs=5"][m][f"acc_at_{CHECKPOINTS[0]}"] - 1.0
+        for m in METHODS
+    )
+    assert improved >= len(METHODS) - 2
+
+    for key, row in results.items():
+        final = {m: row[m][f"acc_at_{CHECKPOINTS[-1]}"] for m in METHODS}
+        best = max(final.values())
+        assert final["fedtrip"] >= best - 5.0, (key, final)

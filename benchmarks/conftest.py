@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+``pytest benchmarks/ --benchmark-only`` runs every bench exactly once
+(pedantic mode, one round, one iteration): these are experiment
+regenerators, not micro-benchmarks, and a single run of e.g. the Table IV
+grid takes minutes.
+"""
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,158 @@
+"""Shared benchmark harness.
+
+Every bench file regenerates one table or figure of the paper.  Because the
+paper's tables reuse the same training runs (Table V reports the FLOPs of
+Table IV's runs; Fig. 5's Dir-0.5 curves are Table IV's CNN runs), the
+harness memoizes completed runs in-process: within one ``pytest
+benchmarks/`` session each (dataset, model, method, partition, ...) case is
+trained exactly once.
+
+Scale note: the paper trains on full MNIST/FMNIST/EMNIST/CIFAR-10 with 100
+rounds on a GPU; this harness uses the ``mini_*`` synthetic datasets and
+fewer rounds so the full grid runs on one CPU core (see DESIGN.md's
+substitution table).  Shape comparisons — who converges first, by what
+factor, where methods break down — are preserved; absolute accuracies and
+round counts are not comparable to the paper's.
+
+Results are also dumped to ``benchmarks/out/*.json`` so EXPERIMENTS.md can
+cite exact numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro import FLConfig, Simulation, build_federated_data, build_strategy
+from repro.fl.history import History
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+#: The six methods of the paper's evaluation, in its presentation order.
+METHODS = ("fedtrip", "fedavg", "fedprox", "slowmo", "moon", "feddyn")
+
+_RUN_CACHE: Dict[Tuple, History] = {}
+_DATA_CACHE: Dict[Tuple, object] = {}
+
+
+def get_data(
+    dataset: str,
+    n_clients: int,
+    partition: str,
+    alpha: Optional[float] = None,
+    n_clusters: Optional[int] = None,
+    samples_per_client: Optional[int] = None,
+    seed: int = 0,
+):
+    key = (dataset, n_clients, partition, alpha, n_clusters, samples_per_client, seed)
+    if key not in _DATA_CACHE:
+        kwargs = {}
+        if alpha is not None:
+            kwargs["alpha"] = alpha
+        if n_clusters is not None:
+            kwargs["n_clusters"] = n_clusters
+        _DATA_CACHE[key] = build_federated_data(
+            dataset,
+            n_clients=n_clients,
+            partition=partition,
+            seed=seed,
+            samples_per_client=samples_per_client,
+            **kwargs,
+        )
+    return _DATA_CACHE[key]
+
+
+def run_case(
+    dataset: str,
+    model: str,
+    method: str,
+    partition: str = "dirichlet",
+    alpha: Optional[float] = 0.5,
+    n_clusters: Optional[int] = None,
+    rounds: int = 30,
+    n_clients: int = 10,
+    clients_per_round: int = 4,
+    batch_size: int = 50,
+    local_epochs: int = 1,
+    lr: float = 0.03,
+    seed: int = 0,
+    samples_per_client: Optional[int] = None,
+    strategy_overrides: Optional[dict] = None,
+) -> History:
+    """Train one (case, method) cell, memoized for the whole pytest session."""
+    overrides = tuple(sorted((strategy_overrides or {}).items()))
+    key = (
+        dataset, model, method, partition, alpha, n_clusters, rounds, n_clients,
+        clients_per_round, batch_size, local_epochs, lr, seed, samples_per_client,
+        overrides,
+    )
+    if key in _RUN_CACHE:
+        return _RUN_CACHE[key]
+    data = get_data(
+        dataset, n_clients, partition,
+        alpha=alpha if partition == "dirichlet" else None,
+        n_clusters=n_clusters if partition == "orthogonal" else None,
+        samples_per_client=samples_per_client, seed=seed,
+    )
+    config = FLConfig(
+        rounds=rounds, n_clients=n_clients, clients_per_round=clients_per_round,
+        batch_size=batch_size, local_epochs=local_epochs, lr=lr, seed=seed,
+    )
+    strategy = build_strategy(method, model=model, dataset=dataset,
+                              **(strategy_overrides or {}))
+    sim = Simulation(data, strategy, config, model_name=model)
+    history = sim.run()
+    sim.close()
+    _RUN_CACHE[key] = history
+    return history
+
+
+# ---------------------------------------------------------------------------
+# Table IV / Fig. 5 case definitions (mini-scale analogues).
+# ---------------------------------------------------------------------------
+
+#: (label, dataset, model, lr, rounds, target accuracy %, per-method
+#: strategy overrides) under Dir-0.5, 4-of-10.  Analogue of Table IV's six
+#: columns.  Targets sit in the late-convergence regime where the methods
+#: separate (the paper's targets are likewise near each model's plateau).
+#:
+#: lr calibration: the paper trains everything at lr 0.01 for 100 rounds;
+#: our 30-round mini-scale runs use lr 0.02 (CNN/AlexNet) and 0.05 (MLP) —
+#: at higher CNN rates the momentum methods destabilize and FedTrip's
+#: staleness-scaled push overshoots (the Fig. 7 large-mu failure mode).
+#: At these rates every method runs the paper's default hyperparameters.
+TABLE4_CASES: List[Tuple[str, str, str, float, int, float, dict]] = [
+    ("MLP/MNIST", "mini_mnist", "mlp", 0.05, 30, 93.0, {}),
+    ("MLP/FMNIST", "mini_fmnist", "mlp", 0.05, 30, 88.0, {}),
+    ("CNN/MNIST", "mini_mnist", "cnn", 0.02, 30, 94.0, {}),
+    ("CNN/FMNIST", "mini_fmnist", "cnn", 0.02, 30, 85.0, {}),
+    ("CNN/EMNIST", "mini_emnist", "cnn", 0.02, 30, 80.0, {}),
+    ("AlexNet/CIFAR", "mini_cifar10", "alexnet", 0.02, 12, 90.0, {}),
+]
+
+
+def fmt_rounds(r: Optional[int], rounds: int) -> str:
+    return str(r) if r is not None else f">{rounds}"
+
+
+def relative(base: Optional[int], r: Optional[int]) -> str:
+    if base is None or r is None:
+        return "-"
+    return f"{base / r:.2f}x"
+
+
+def save_json(name: str, payload) -> str:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, default=str)
+    return path
+
+
+def print_table(title: str, header: List[str], rows: List[List[str]]) -> None:
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) for i, h in enumerate(header)]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

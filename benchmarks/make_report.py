@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""Regenerate the measured-results section of EXPERIMENTS.md from
+``benchmarks/out/*.json``.
+
+Run after ``pytest benchmarks/ --benchmark-only``:
+
+    python benchmarks/make_report.py > /tmp/measured.md
+
+The output is the markdown block pasted into EXPERIMENTS.md under
+"Measured results"; keeping it generated means the document can never drift
+from the artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+OUT = os.path.join(os.path.dirname(__file__), "out")
+METHODS = ("fedtrip", "fedavg", "fedprox", "slowmo", "moon", "feddyn")
+
+
+def load(name):
+    path = os.path.join(OUT, f"{name}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def md_table(header, rows):
+    out = ["| " + " | ".join(str(h) for h in header) + " |",
+           "|" + "|".join("---" for _ in header) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(out)
+
+
+def fmt_rounds(r, budget):
+    return str(r) if r is not None else f">{budget}"
+
+
+def section_table4():
+    data = load("table4")
+    if not data:
+        return ""
+    header = ["method"] + [f"{k} ({v['target']:.0f}%)" for k, v in data.items()]
+    rows = []
+    for m in METHODS:
+        cells = [m]
+        for case in data.values():
+            r = case["methods"][m]["rounds_to_target"]
+            base = case["methods"]["fedavg"]["rounds_to_target"]
+            rel = f" ({base / r:.2f}x)" if (r and base) else ""
+            cells.append(fmt_rounds(r, case["budget_rounds"]) + rel)
+        rows.append(cells)
+    return "### Table IV — rounds to target accuracy (vs FedAvg)\n\n" + md_table(header, rows)
+
+
+def section_table5():
+    data = load("table5")
+    if not data:
+        return ""
+    header = ["case"] + list(METHODS) + ["MOON/FedTrip"]
+    rows = []
+    for label, row in data.items():
+        cells = [label] + [f"{row[m]['total_gflops']:.2f}" for m in METHODS]
+        cells.append(f"{row['moon']['total_gflops'] / row['fedtrip']['total_gflops']:.2f}x")
+        rows.append(cells)
+    return "### Table V — total training GFLOPs\n\n" + md_table(header, rows)
+
+
+def section_table6():
+    data = load("table6")
+    if not data:
+        return ""
+    header = ["method"] + [f"{k} ({v['target']:.0f}%)" for k, v in data.items()]
+    rows = []
+    for m in METHODS:
+        cells = [m]
+        for case in data.values():
+            cells.append(fmt_rounds(case["methods"][m]["rounds_to_target"], 24))
+        rows.append(cells)
+    return "### Table VI — 4-of-50 scalability (rounds to target)\n\n" + md_table(header, rows)
+
+
+def section_table7():
+    data = load("table7")
+    if not data:
+        return ""
+    rows = []
+    for key, row in data.items():
+        for cp in (5, 10):
+            rows.append([key, f"round {cp}"] + [f"{row[m][f'acc_at_{cp}']:.2f}" for m in METHODS])
+    return "### Table VII — accuracy with local epochs 5/10\n\n" + md_table(
+        ["epochs", "checkpoint"] + list(METHODS), rows)
+
+
+def section_fig5():
+    data = load("fig5")
+    if not data:
+        return ""
+    rows = [[label] + [f"{panel[m]['final5']:.1f}" for m in METHODS]
+            for label, panel in data.items()]
+    return ("### Fig. 5 — CNN final-5-round mean accuracy per panel\n\n"
+            + md_table(["panel"] + list(METHODS), rows))
+
+
+def section_fig6():
+    data = load("fig6")
+    if not data:
+        return ""
+    rows = [[key] + [f"{cell[m]['mean']:.1f}" for m in METHODS]
+            for key, cell in data.items()]
+    return ("### Fig. 6 — final accuracy, mean of last 10 rounds (FMNIST)\n\n"
+            + md_table(["cell"] + list(METHODS), rows))
+
+
+def section_fig7():
+    data = load("fig7")
+    if not data:
+        return ""
+    blocks = []
+    for label, case in data.items():
+        rows = [[mu, f"{v['best_accuracy']:.1f}",
+                 fmt_rounds(v["rounds_to_target"], 30)]
+                for mu, v in case["sweep"].items()]
+        blocks.append(f"**{label}** (target {case['target']:.0f}%)\n\n"
+                      + md_table(["mu", "best acc %", "rounds to target"], rows))
+    return "### Fig. 7 — mu sensitivity\n\n" + "\n\n".join(blocks)
+
+
+def section_fig2():
+    data = load("fig2")
+    if not data:
+        return ""
+    rows = [[k, f"{v['tsne_separation']:.2f}", f"{v['test_accuracy']:.1f}"]
+            for k, v in data.items()]
+    return ("### Fig. 2 — feature quality (t-SNE separation / accuracy)\n\n"
+            + md_table(["model", "t-SNE separation", "test acc %"], rows))
+
+
+def section_fig1_fig3():
+    data = load("fig1_fig3")
+    if not data:
+        return ""
+    rows1 = [[s, f"{data[f'fig1_{s}']['mean_update_inconsistency']:.4f}",
+              f"{data[f'fig1_{s}']['final_distance_to_optimum']:.4f}"]
+             for s in ("iid", "noniid")]
+    rows3 = [[m, f"{data[f'fig3_{m}']['final_distance']:.4f}",
+              f"{data[f'fig3_{m}']['auc_distance']:.3f}"]
+             for m in ("fedavg", "fedprox", "fedtrip")]
+    return ("### Fig. 1 — update consistency (quadratic toy)\n\n"
+            + md_table(["setting", "client gap", "final dist to w*"], rows1)
+            + "\n\n### Fig. 3 — trajectory comparison (quadratic toy)\n\n"
+            + md_table(["method", "final dist", "distance AUC"], rows3))
+
+
+def section_ablation():
+    data = load("ablation_xi")
+    if not data:
+        return ""
+    rows = [[k, f"{v['best_accuracy']:.1f}", f"{v['final5']:.1f}",
+             fmt_rounds(v["rounds_to_80"], 30)] for k, v in data.items()]
+    return ("### Ablation — xi schedule and historical anchor\n\n"
+            + md_table(["variant", "best %", "final5 %", "rounds to 80%"], rows))
+
+
+def section_supplementary():
+    data = load("supplementary_drift_time")
+    if not data:
+        return ""
+    rows = [[k, f"{v['mean_divergence']:.3f}", f"{v['mean_consistency']:.3f}"]
+            for k, v in data["drift"].items()]
+    rows2 = [[k, f"{v['time_to_target_s']:.1f}s" if v["time_to_target_s"] else "miss",
+              f"{v['comm_fraction']:.2f}"] for k, v in data["time"].items()]
+    return ("### Supplementary — drift diagnostics\n\n"
+            + md_table(["partition/method", "divergence", "consistency"], rows)
+            + "\n\n### Supplementary — simulated time to 80%\n\n"
+            + md_table(["preset/method", "time", "comm fraction"], rows2))
+
+
+SECTIONS = [
+    section_fig1_fig3, section_fig2, section_table4, section_table5,
+    section_fig5, section_fig6, section_table6, section_table7,
+    section_fig7, section_ablation, section_supplementary,
+]
+
+
+def main() -> int:
+    parts = [s() for s in SECTIONS]
+    print("\n\n".join(p for p in parts if p))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Compare the paper's six methods head-to-head (a mini Table IV / Fig. 5).
+
+Trains FedTrip, FedAvg, FedProx, SlowMo, MOON and FedDyn on the same
+Dirichlet-0.5 partition of a synthetic MNIST-like dataset, then prints:
+
+* the convergence curve of each method (EMA-smoothed, as in Fig. 5);
+* rounds-to-target-accuracy with FedAvg-relative speedups (Table IV's
+  format);
+* total training GFLOPs (Table V's format).
+
+Run:  python examples/compare_algorithms.py [--rounds N] [--dataset NAME]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import FLConfig, Simulation, build_federated_data, build_strategy
+from repro.algorithms import PAPER_EVALUATED
+
+
+def sparkline(values, width: int = 40) -> str:
+    """Render an accuracy curve as a unicode sparkline."""
+    import numpy as np
+
+    vals = np.asarray([v for v in values if v == v])  # drop NaN
+    if vals.size == 0:
+        return ""
+    idx = np.linspace(0, vals.size - 1, min(width, vals.size)).astype(int)
+    vals = vals[idx]
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = vals.min(), vals.max()
+    span = max(hi - lo, 1e-9)
+    return "".join(blocks[int((v - lo) / span * (len(blocks) - 1))] for v in vals)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=25)
+    parser.add_argument("--dataset", default="mini_mnist")
+    parser.add_argument("--model", default="mlp", choices=["mlp", "cnn", "alexnet"])
+    parser.add_argument("--target", type=float, default=75.0,
+                        help="target accuracy %% for the rounds-to-target table")
+    args = parser.parse_args()
+
+    data = build_federated_data(
+        args.dataset, n_clients=10, partition="dirichlet", alpha=0.5, seed=0
+    )
+    config = FLConfig(
+        rounds=args.rounds, n_clients=10, clients_per_round=4,
+        batch_size=50, lr=0.05, seed=0,
+    )
+
+    results = {}
+    for name in PAPER_EVALUATED:
+        strategy = build_strategy(name, model=args.model, dataset=args.dataset)
+        sim = Simulation(data, strategy, config, model_name=args.model)
+        hist = sim.run()
+        results[name] = hist
+        sim.close()
+        print(f"trained {name:8s}  best={hist.best_accuracy():6.2f}%  "
+              f"{sparkline(hist.ema_accuracy())}")
+
+    print(f"\n=== rounds to {args.target:.0f}% accuracy (Table IV format) ===")
+    base = results["fedavg"].rounds_to_accuracy(args.target)
+    for name, hist in sorted(results.items(), key=lambda kv: kv[1].rounds_to_accuracy(args.target) or 10**9):
+        r = hist.rounds_to_accuracy(args.target)
+        rel = f"{r and base and base / r:.2f}x vs fedavg" if (r and base) else ""
+        print(f"  {name:8s}  {r if r is not None else '>' + str(args.rounds):>5}  {rel}")
+
+    print("\n=== total training GFLOPs (Table V format) ===")
+    for name, hist in sorted(results.items(), key=lambda kv: kv[1].total_gflops()):
+        print(f"  {name:8s}  {hist.total_gflops():10.3f}")
+
+    print("\n=== final accuracy, mean of last 10 evaluated rounds (Fig. 6) ===")
+    for name, hist in sorted(results.items(),
+                             key=lambda kv: -kv[1].final_accuracy_stats()["mean"]):
+        s = hist.final_accuracy_stats()
+        print(f"  {name:8s}  mean={s['mean']:6.2f}  q1={s['q1']:6.2f}  q3={s['q3']:6.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: train FedTrip on a non-IID federated dataset in ~30 seconds.
+
+Builds a synthetic MNIST-like dataset partitioned across 10 clients with a
+Dirichlet(0.5) label skew (the paper's default heterogeneity), trains the
+paper's CNN with FedTrip for 20 communication rounds, and prints the
+accuracy curve plus the resource totals FedTrip is designed to minimise.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import FLConfig, Simulation, build_federated_data, build_strategy
+
+
+def main() -> None:
+    # 1. Federated data: 10 clients, Dirichlet(0.5) label skew.
+    data = build_federated_data(
+        "mini_mnist", n_clients=10, partition="dirichlet", alpha=0.5, seed=0
+    )
+    print(f"dataset={data.spec.name}  clients={data.n_clients}  "
+          f"samples/client={len(data.client_shards[0])}")
+    counts = data.label_counts()
+    print("classes held per client:", (counts > 0).sum(axis=1).tolist())
+
+    # 2. The paper's configuration: 4-of-10 clients per round, SGDm(0.9).
+    config = FLConfig(
+        rounds=20, n_clients=10, clients_per_round=4,
+        batch_size=50, local_epochs=1, lr=0.02, seed=0,
+    )
+
+    # 3. FedTrip with the paper's CNN hyperparameter mu=0.4.
+    strategy = build_strategy("fedtrip", model="cnn", dataset="mini_mnist")
+    sim = Simulation(data, strategy, config, model_name="cnn")
+
+    # 4. Train and report.
+    print(f"\nmodel={sim.profile.name}  params={sim.profile.num_params:,}  "
+          f"comm={sim.profile.comm_mb:.3f} MB/direction")
+    print(f"\n{'round':>5}  {'accuracy %':>10}  {'train loss':>10}")
+    for _ in range(config.rounds):
+        rec = sim.run_round()
+        if rec.test_accuracy is not None:
+            print(f"{rec.round_idx:>5}  {rec.test_accuracy:>10.2f}  "
+                  f"{rec.mean_train_loss:>10.4f}")
+
+    hist = sim.history
+    print(f"\nbest accuracy        : {hist.best_accuracy():.2f}%")
+    print(f"rounds to 70% acc    : {hist.rounds_to_accuracy(70.0)}")
+    print(f"total training GFLOPs: {hist.total_gflops():.3f}")
+    print(f"total communication  : {hist.total_comm_mb():.2f} MB")
+    sim.close()
+
+
+if __name__ == "__main__":
+    main()

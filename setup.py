@@ -1,0 +1,22 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package installs in environments whose setuptools predates full PEP 660
+editable-wheel support (``python setup.py develop`` / offline CI images
+without the ``wheel`` package).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "FedTrip: resource-efficient federated learning with triplet "
+        "regularization (full reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21", "scipy>=1.7"],
+)

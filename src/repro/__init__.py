@@ -1,0 +1,71 @@
+"""repro — a full reproduction of *FedTrip: A Resource-Efficient Federated
+Learning Method with Triplet Regularization* (Li et al., IPDPS 2023).
+
+Quickstart::
+
+    from repro import build_federated_data, build_strategy, FLConfig, Simulation
+
+    data = build_federated_data("mini_mnist", n_clients=10,
+                                partition="dirichlet", alpha=0.5, seed=0)
+    config = FLConfig(rounds=30, n_clients=10, clients_per_round=4)
+    sim = Simulation(data, build_strategy("fedtrip", mu=0.4), config,
+                     model_name="cnn")
+    history = sim.run()
+    print(history.best_accuracy(), history.rounds_to_accuracy(80.0))
+
+Subpackages
+-----------
+``repro.nn``          NumPy layer library (the PyTorch substitute)
+``repro.models``      MLP / CNN / AlexNet-lite + cost profiling
+``repro.optim``       SGD / SGDm / Adam + LR schedules
+``repro.data``        synthetic datasets, loaders, non-IID partitioners
+``repro.fl``          server / clients / round loop / metrics
+``repro.algorithms``  FedTrip + 9 baselines behind one Strategy API
+``repro.costs``       Table VIII / Table V resource accounting
+``repro.analysis``    Theorem 1 calculator, toy trajectories, t-SNE
+"""
+
+from repro.data import build_federated_data, FederatedData, get_spec
+from repro.fl import FLConfig, Simulation, History, UniformSampler
+from repro.algorithms import (
+    build_strategy,
+    available_strategies,
+    FedTrip,
+    FedAvg,
+    FedProx,
+    MOON,
+    FedDyn,
+    SlowMo,
+    SCAFFOLD,
+    FedDANE,
+    MimeLite,
+    FedGKD,
+)
+from repro.models import build_model, profile_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_federated_data",
+    "FederatedData",
+    "get_spec",
+    "FLConfig",
+    "Simulation",
+    "History",
+    "UniformSampler",
+    "build_strategy",
+    "available_strategies",
+    "FedTrip",
+    "FedAvg",
+    "FedProx",
+    "MOON",
+    "FedDyn",
+    "SlowMo",
+    "SCAFFOLD",
+    "FedDANE",
+    "MimeLite",
+    "FedGKD",
+    "build_model",
+    "profile_model",
+    "__version__",
+]

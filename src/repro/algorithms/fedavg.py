@@ -1,0 +1,26 @@
+"""FedAvg (McMahan et al., AISTATS 2017) — the fundamental FL baseline.
+
+Plain local SGD from the global model, sample-count-weighted averaging
+(Eq. 2).  The base :class:`~repro.algorithms.base.Strategy` already *is*
+FedAvg; this subclass just names it and documents zero attach cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.algorithms.base import Strategy
+
+__all__ = ["FedAvg"]
+
+
+class FedAvg(Strategy):
+    name = "fedavg"
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "family": "baseline",
+            "information_utilization": "insufficient",
+            "resource_cost": "low",
+        }

@@ -1,0 +1,61 @@
+"""FedAvgM — server momentum (Hsu et al., 2019; also Reddi et al. [23]).
+
+The simplest server-side optimizer baseline: treat the average client
+displacement as a pseudo-gradient and apply heavy-ball momentum at the
+server::
+
+    d_t = w_glob - mean(w_k)
+    v_t = beta v_{t-1} + d_t
+    w_glob <- w_glob - v_t
+
+Differs from SlowMo only in parameterization (no 1/lr scaling, no separate
+slow learning rate); with ``beta=0`` it is exactly FedAvg.  Included as the
+canonical member of the "adaptive federated optimization" family the
+paper's related work cites.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from repro.algorithms.base import Strategy
+from repro.fl.types import ClientUpdate, FLConfig
+
+__all__ = ["FedAvgM"]
+
+
+class FedAvgM(Strategy):
+    name = "fedavgm"
+
+    def __init__(self, beta: float = 0.9) -> None:
+        if not 0 <= beta < 1:
+            raise ValueError("beta must be in [0, 1)")
+        self.beta = float(beta)
+
+    def server_init(self, global_weights, config: FLConfig) -> Dict[str, Any]:
+        return {"v": [np.zeros_like(w) for w in global_weights]}
+
+    def post_aggregate(
+        self,
+        new_weights: List[np.ndarray],
+        old_weights: List[np.ndarray],
+        updates: Sequence[ClientUpdate],
+        server_state: Dict[str, Any],
+        config: FLConfig,
+    ) -> List[np.ndarray]:
+        v = server_state["v"]
+        out: List[np.ndarray] = []
+        for i, (new, old) in enumerate(zip(new_weights, old_weights)):
+            v[i] = self.beta * v[i] + (old - new)
+            out.append(old - v[i])
+        return out
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "family": "server momentum",
+            "information_utilization": "insufficient",
+            "resource_cost": "low",
+        }

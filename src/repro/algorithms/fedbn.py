@@ -1,0 +1,80 @@
+"""FedBN — local batch normalization (Li et al., ICLR 2021; paper ref [24]).
+
+The related-work baseline for *feature* non-IID: clients whose data differ
+in feature space (different sensors/gains — see
+``repro.data.transforms.client_feature_skew``) keep their BatchNorm
+parameters **local** and only share the rest of the network.  Each client's
+BN layers then normalize with statistics matched to its own feature
+distribution.
+
+Simulation mechanics: the server still averages every uploaded parameter
+(so the global model used for server-side evaluation carries mean BN
+parameters), but each participating client *restores its own* BN
+gamma/beta and running statistics before training — equivalent to never
+having shared them, which is FedBN's definition.  On a model without BN
+layers this reduces exactly to FedAvg (pinned by a test).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.algorithms.base import ClientRoundContext, Strategy
+from repro.nn.regularization import _BatchNormBase
+
+__all__ = ["FedBN"]
+
+
+def _bn_modules(model) -> List[Any]:
+    return [m for _, m in model.modules() if isinstance(m, _BatchNormBase)]
+
+
+class FedBN(Strategy):
+    name = "fedbn"
+
+    def init_client_state(self, client_id: int) -> Dict[str, Any]:
+        return {"bn": None}
+
+    def on_round_start(self, ctx: ClientRoundContext) -> None:
+        saved = ctx.state.get("bn")
+        if saved is None:
+            return
+        for mod, blob in zip(_bn_modules(ctx.model), saved):
+            mod.gamma.copy_(blob["gamma"])
+            mod.beta.copy_(blob["beta"])
+            mod.running_mean = blob["running_mean"].copy()
+            mod.running_var = blob["running_var"].copy()
+
+    def on_round_end(self, ctx: ClientRoundContext) -> None:
+        ctx.state["bn"] = [
+            {
+                "gamma": mod.gamma.clone_data(),
+                "beta": mod.beta.clone_data(),
+                "running_mean": mod.running_mean.copy(),
+                "running_var": mod.running_var.copy(),
+            }
+            for mod in _bn_modules(ctx.model)
+        ]
+
+    def personalize(self, model, client_state: Dict[str, Any]):
+        """Load a client's local BN parameters into ``model`` (for
+        personalized evaluation, FedBN's intended deployment)."""
+        saved = client_state.get("bn")
+        if saved is None:
+            return model
+        for mod, blob in zip(_bn_modules(model), saved):
+            mod.gamma.copy_(blob["gamma"])
+            mod.beta.copy_(blob["beta"])
+            mod.running_mean = blob["running_mean"].copy()
+            mod.running_var = blob["running_var"].copy()
+        return model
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "family": "personalized normalization",
+            "information_utilization": "insufficient",
+            "resource_cost": "low",
+        }

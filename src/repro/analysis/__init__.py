@@ -1,0 +1,46 @@
+"""Analysis utilities: theory calculator, toy trajectories, t-SNE, PCA."""
+
+from repro.analysis.theory import (
+    expected_xi,
+    rho,
+    rho_positive,
+    suggested_mu,
+    staleness_distribution,
+    ConvergenceComparison,
+    compare_fedprox_fedtrip,
+    measure_inexactness,
+)
+from repro.analysis.toy import QuadraticClient, ToyFLProblem, simulate_toy
+from repro.analysis.pca import pca
+from repro.analysis.tsne import tsne
+from repro.analysis.plotting import line_plot, box_plot, heatmap, scatter
+from repro.analysis.drift import (
+    update_divergence,
+    update_cosine_consistency,
+    drift_from_global,
+    DriftTracker,
+)
+
+__all__ = [
+    "expected_xi",
+    "rho",
+    "rho_positive",
+    "suggested_mu",
+    "staleness_distribution",
+    "ConvergenceComparison",
+    "compare_fedprox_fedtrip",
+    "measure_inexactness",
+    "QuadraticClient",
+    "ToyFLProblem",
+    "simulate_toy",
+    "pca",
+    "tsne",
+    "update_divergence",
+    "update_cosine_consistency",
+    "drift_from_global",
+    "DriftTracker",
+    "line_plot",
+    "box_plot",
+    "heatmap",
+    "scatter",
+]

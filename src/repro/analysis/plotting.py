@@ -1,0 +1,176 @@
+"""Terminal plotting: render the paper's figures as unicode text.
+
+This environment has no matplotlib, so each figure-regenerating bench and
+example renders with these primitives instead:
+
+* :func:`line_plot` — multi-series curves (Fig. 5 accuracy-vs-round);
+* :func:`box_plot` — quartile boxes (Fig. 6 final-accuracy distribution);
+* :func:`heatmap` — client-by-class count matrices (Fig. 4);
+* :func:`scatter` — 2-D embeddings (Fig. 2 t-SNE panels).
+
+All functions return a string (no printing side effects), are pure NumPy,
+and degrade gracefully for small canvases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["line_plot", "box_plot", "heatmap", "scatter"]
+
+_SERIES_MARKS = "*o+x#@%&"
+_SHADES = " .:-=+*#%@"
+
+
+def _canvas(height: int, width: int) -> np.ndarray:
+    return np.full((height, width), " ", dtype="<U1")
+
+
+def _render(canvas: np.ndarray) -> str:
+    return "\n".join("".join(row) for row in canvas)
+
+
+def line_plot(
+    series: Dict[str, Sequence[float]],
+    width: int = 70,
+    height: int = 18,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot several named series against their index (e.g. round number).
+
+    NaN values are skipped.  Each series gets a distinct mark; a legend
+    line maps marks to names.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 10 or height < 4:
+        raise ValueError("canvas too small")
+    all_vals = np.concatenate(
+        [np.asarray(v, dtype=float)[~np.isnan(np.asarray(v, dtype=float))]
+         for v in series.values() if len(v)]
+    )
+    if all_vals.size == 0:
+        raise ValueError("series contain no finite values")
+    lo, hi = float(all_vals.min()), float(all_vals.max())
+    span = max(hi - lo, 1e-9)
+    max_len = max(len(v) for v in series.values())
+    canvas = _canvas(height, width)
+    for si, (name, vals) in enumerate(series.items()):
+        mark = _SERIES_MARKS[si % len(_SERIES_MARKS)]
+        v = np.asarray(vals, dtype=float)
+        for i, val in enumerate(v):
+            if np.isnan(val):
+                continue
+            x = int(round(i / max(max_len - 1, 1) * (width - 1)))
+            y = height - 1 - int(round((val - lo) / span * (height - 1)))
+            canvas[y, x] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:>8.2f} ┐{y_label}")
+    body = _render(canvas).split("\n")
+    lines.extend("         │" + row for row in body)
+    lines.append(f"{lo:>8.2f} ┴" + "─" * width)
+    legend = "  ".join(
+        f"{_SERIES_MARKS[i % len(_SERIES_MARKS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append("          " + legend)
+    return "\n".join(lines)
+
+
+def box_plot(
+    stats: Dict[str, Dict[str, float]],
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Render min/q1/median/q3/max boxes, one row per named entry.
+
+    ``stats`` values are dicts with keys ``min, q1, median, q3, max`` (the
+    output of :meth:`History.final_accuracy_stats`).
+    """
+    if not stats:
+        raise ValueError("no boxes to plot")
+    needed = {"min", "q1", "median", "q3", "max"}
+    for k, s in stats.items():
+        if not needed <= set(s):
+            raise ValueError(f"entry {k!r} missing quartile keys")
+    lo = min(s["min"] for s in stats.values())
+    hi = max(s["max"] for s in stats.values())
+    span = max(hi - lo, 1e-9)
+
+    def col(v: float) -> int:
+        return int(round((v - lo) / span * (width - 1)))
+
+    name_w = max(len(k) for k in stats)
+    lines = [title] if title else []
+    for name, s in stats.items():
+        row = [" "] * width
+        for x in range(col(s["min"]), col(s["q1"])):
+            row[x] = "-"
+        for x in range(col(s["q1"]), col(s["q3"]) + 1):
+            row[x] = "="
+        for x in range(col(s["q3"]) + 1, col(s["max"]) + 1):
+            row[x] = "-"
+        row[col(s["median"])] = "|"
+        lines.append(f"{name:>{name_w}} [{''.join(row)}] "
+                     f"med={s['median']:.1f}")
+    lines.append(f"{'':>{name_w}}  {lo:<.1f}{'':^{max(width - 12, 1)}}{hi:>.1f}")
+    return "\n".join(lines)
+
+
+def heatmap(
+    matrix: np.ndarray,
+    row_labels: Optional[Sequence[str]] = None,
+    col_labels: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Shade a matrix with density characters (Fig. 4's count matrix)."""
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2:
+        raise ValueError("heatmap needs a 2-D matrix")
+    lo, hi = float(m.min()), float(m.max())
+    span = max(hi - lo, 1e-9)
+    idx = ((m - lo) / span * (len(_SHADES) - 1)).round().astype(int)
+    rows = ["".join(_SHADES[v] * 2 for v in row) for row in idx]
+    name_w = max((len(str(r)) for r in (row_labels or [""])), default=0)
+    lines = [title] if title else []
+    if col_labels is not None:
+        header = " " * (name_w + 1) + "".join(f"{str(c)[:2]:<2}" for c in col_labels)
+        lines.append(header)
+    for i, row in enumerate(rows):
+        label = str(row_labels[i]) if row_labels is not None else ""
+        lines.append(f"{label:>{name_w}} {row}")
+    lines.append(f"scale: '{_SHADES[0]}'={lo:.0f} .. '{_SHADES[-1]}'={hi:.0f}")
+    return "\n".join(lines)
+
+
+def scatter(
+    points: np.ndarray,
+    labels: Optional[np.ndarray] = None,
+    width: int = 60,
+    height: int = 24,
+    title: str = "",
+) -> str:
+    """Scatter 2-D points; class labels (0-9+) choose the glyph."""
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError("points must be (n, 2)")
+    if labels is not None and len(labels) != len(pts):
+        raise ValueError("labels length mismatch")
+    lo = pts.min(axis=0)
+    hi = pts.max(axis=0)
+    span = np.maximum(hi - lo, 1e-9)
+    canvas = _canvas(height, width)
+    for i, (x, y) in enumerate(pts):
+        cx = int(round((x - lo[0]) / span[0] * (width - 1)))
+        cy = height - 1 - int(round((y - lo[1]) / span[1] * (height - 1)))
+        glyph = "•" if labels is None else str(int(labels[i]) % 36)[-1]
+        canvas[cy, cx] = glyph
+    lines = [title] if title else []
+    lines.extend("│" + "".join(row) for row in canvas)
+    lines.append("└" + "─" * width)
+    return "\n".join(lines)

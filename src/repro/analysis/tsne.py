@@ -1,0 +1,124 @@
+"""Exact t-SNE (van der Maaten & Hinton, 2008) in vectorized NumPy.
+
+Used to regenerate the paper's Fig. 2: t-SNE of test-set feature
+representations from the global vs local models.  Exact O(n^2) affinities
+are fine at figure scale (a few hundred points); everything is matrix
+algebra, no Python-level pairwise loops.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.pca import pca
+
+__all__ = ["tsne"]
+
+
+def _pairwise_sq_dists(x: np.ndarray) -> np.ndarray:
+    """||x_i - x_j||^2 via the (a-b)^2 = a^2 + b^2 - 2ab expansion."""
+    sq = np.sum(x * x, axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (x @ x.T)
+    np.fill_diagonal(d2, 0.0)
+    return np.maximum(d2, 0.0)
+
+
+def _binary_search_betas(d2: np.ndarray, perplexity: float, tol: float = 1e-5, iters: int = 50):
+    """Per-point precision beta_i such that the conditional distribution's
+    perplexity matches the target.  Vectorized bisection over all points."""
+    n = d2.shape[0]
+    target = np.log(perplexity)
+    beta = np.ones(n)
+    beta_min = np.full(n, -np.inf)
+    beta_max = np.full(n, np.inf)
+    mask = ~np.eye(n, dtype=bool)
+    p = np.zeros((n, n))
+    for _ in range(iters):
+        logits = -d2 * beta[:, None]
+        logits[~mask] = -np.inf
+        logits -= logits.max(axis=1, keepdims=True)
+        ex = np.exp(logits)
+        ex[~mask] = 0.0
+        sum_ex = ex.sum(axis=1, keepdims=True)
+        p = ex / np.maximum(sum_ex, 1e-12)
+        # Shannon entropy of each conditional distribution (log masked so
+        # zero-probability entries contribute exactly 0, without warnings).
+        h = -np.sum(p * np.log(np.where(p > 0, p, 1.0)), axis=1)
+        diff = h - target
+        done = np.abs(diff) < tol
+        if done.all():
+            break
+        too_flat = diff > 0  # entropy too high -> increase beta
+        beta_min = np.where(too_flat & ~done, beta, beta_min)
+        beta_max = np.where(~too_flat & ~done, beta, beta_max)
+        grow = np.isinf(beta_max)
+        shrink = np.isinf(beta_min)
+        new_beta = np.where(
+            too_flat,
+            np.where(grow, beta * 2.0, (beta + beta_max) / 2.0),
+            np.where(shrink, beta / 2.0, (beta + beta_min) / 2.0),
+        )
+        beta = np.where(done, beta, new_beta)
+    return p
+
+
+def tsne(
+    x: np.ndarray,
+    n_components: int = 2,
+    perplexity: float = 30.0,
+    iterations: int = 300,
+    learning_rate: float = 100.0,
+    early_exaggeration: float = 4.0,
+    exaggeration_iters: int = 50,
+    seed: int = 0,
+    init: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Embed rows of ``x`` into ``n_components`` dimensions.
+
+    PCA initialization (the modern default) plus momentum gradient descent
+    with early exaggeration.  Returns an ``(n, n_components)`` embedding.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[0]
+    if n < 5:
+        raise ValueError("t-SNE needs at least 5 points")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+
+    # High-dimensional affinities.
+    d2 = _pairwise_sq_dists(x)
+    p_cond = _binary_search_betas(d2, perplexity)
+    p = (p_cond + p_cond.T) / (2.0 * n)
+    p = np.maximum(p, 1e-12)
+
+    if init is not None:
+        y = np.array(init, dtype=np.float64, copy=True)
+        if y.shape != (n, n_components):
+            raise ValueError("init has wrong shape")
+    else:
+        y, _ = pca(x, n_components)
+        y = y / max(np.std(y[:, 0]), 1e-12) * 1e-2
+    rng = np.random.default_rng(seed)
+    y += 1e-4 * rng.standard_normal(y.shape)
+
+    velocity = np.zeros_like(y)
+    gains = np.ones_like(y)
+    for it in range(iterations):
+        p_eff = p * early_exaggeration if it < exaggeration_iters else p
+        dy2 = _pairwise_sq_dists(y)
+        num = 1.0 / (1.0 + dy2)
+        np.fill_diagonal(num, 0.0)
+        q = num / max(num.sum(), 1e-12)
+        q = np.maximum(q, 1e-12)
+        # Gradient: 4 sum_j (p_ij - q_ij) (y_i - y_j) / (1 + ||y_i-y_j||^2)
+        w = (p_eff - q) * num
+        grad = 4.0 * ((np.diag(w.sum(axis=1)) - w) @ y)
+        momentum = 0.5 if it < 100 else 0.8
+        same_sign = np.sign(grad) == np.sign(velocity)
+        gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+        gains = np.maximum(gains, 0.01)
+        velocity = momentum * velocity - learning_rate * gains * grad
+        y = y + velocity
+        y -= y.mean(axis=0)
+    return y

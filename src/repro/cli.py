@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``train``     train one (dataset, model, method) cell and print/save metrics
+``compare``   train several methods on one workload and print a comparison
+``partition`` show the client label distribution of a partition (Fig. 4)
+``profile``   print Table II/III-style dataset & model statistics
+``theory``    evaluate the Theorem 1 quantities for given hyperparameters
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro import FLConfig, Simulation, build_federated_data, build_strategy
+from repro.analysis import compare_fedprox_fedtrip, expected_xi
+from repro.data import available_datasets, get_spec, heterogeneity_summary
+from repro.io import save_history
+from repro.models import available_models, build_model, profile_model
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--dataset", default="mini_mnist", choices=available_datasets())
+    p.add_argument("--model", default="cnn", choices=available_models())
+    p.add_argument("--partition", default="dirichlet",
+                   choices=["iid", "dirichlet", "orthogonal"])
+    p.add_argument("--alpha", type=float, default=0.5, help="Dirichlet concentration")
+    p.add_argument("--clusters", type=int, default=5, help="orthogonal cluster count")
+    p.add_argument("--clients", type=int, default=10)
+    p.add_argument("--clients-per-round", type=int, default=4)
+    p.add_argument("--rounds", type=int, default=30)
+    p.add_argument("--batch-size", type=int, default=50)
+    p.add_argument("--local-epochs", type=int, default=1)
+    p.add_argument("--lr", type=float, default=0.03)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _build_data(args):
+    kwargs = {}
+    if args.partition == "dirichlet":
+        kwargs["alpha"] = args.alpha
+    elif args.partition == "orthogonal":
+        kwargs["n_clusters"] = args.clusters
+    return build_federated_data(
+        args.dataset, n_clients=args.clients, partition=args.partition,
+        seed=args.seed, **kwargs,
+    )
+
+
+def _build_config(args) -> FLConfig:
+    return FLConfig(
+        rounds=args.rounds, n_clients=args.clients,
+        clients_per_round=args.clients_per_round, batch_size=args.batch_size,
+        local_epochs=args.local_epochs, lr=args.lr, seed=args.seed,
+    )
+
+
+def _run_one(args, method: str, mu: Optional[float] = None):
+    overrides = {} if mu is None else {"mu": mu}
+    strategy = build_strategy(method, model=args.model, dataset=args.dataset, **overrides)
+    sim = Simulation(_build_data(args), strategy, _build_config(args),
+                     model_name=args.model)
+    hist = sim.run()
+    sim.close()
+    return hist
+
+
+def cmd_train(args) -> int:
+    hist = _run_one(args, args.method, mu=args.mu)
+    print(f"method={args.method} dataset={args.dataset} model={args.model}")
+    print(f"best accuracy : {hist.best_accuracy():.2f}%")
+    if args.target is not None:
+        print(f"rounds to {args.target}%: {hist.rounds_to_accuracy(args.target)}")
+    print(f"total GFLOPs  : {hist.total_gflops():.3f}")
+    print(f"total comm MB : {hist.total_comm_mb():.2f}")
+    if args.out:
+        save_history(hist, args.out)
+        print(f"history saved to {args.out}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    rows = []
+    for method in args.methods:
+        hist = _run_one(args, method)
+        r = hist.rounds_to_accuracy(args.target) if args.target else None
+        rows.append((method, hist.best_accuracy(),
+                     hist.final_accuracy_stats(last_k=5)["mean"],
+                     r, hist.total_gflops()))
+        print(f"done {method}")
+    print(f"\n{'method':>10} {'best %':>8} {'final5 %':>9} {'rounds':>7} {'GFLOPs':>9}")
+    for method, best, final, r, gf in sorted(rows, key=lambda x: -x[2]):
+        print(f"{method:>10} {best:>8.2f} {final:>9.2f} "
+              f"{str(r) if r is not None else '-':>7} {gf:>9.3f}")
+    return 0
+
+
+def cmd_partition(args) -> int:
+    data = _build_data(args)
+    counts = data.label_counts()
+    print(f"{args.partition} partition of {args.dataset} over {args.clients} clients")
+    for k, row in enumerate(counts):
+        print(f"  client {k:>2}: {row.tolist()}")
+    print(json.dumps(heterogeneity_summary(counts), indent=2))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.models import format_layer_summary
+
+    spec = get_spec(args.dataset)
+    print("dataset:", json.dumps(spec.table2_row(), indent=2))
+    model = build_model(args.model, spec.input_shape, spec.num_classes)
+    print("model:", json.dumps(profile_model(model).table3_row(), indent=2))
+    print()
+    print(format_layer_summary(model))
+    return 0
+
+
+def cmd_theory(args) -> int:
+    cmp = compare_fedprox_fedtrip(mu=args.mu, L=args.L, B=args.B,
+                                  participation_rate=args.p)
+    print(json.dumps(cmp.summary(), indent=2))
+    print(f"E[xi]({args.p}) = {expected_xi(args.p):.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("train", help="train one method")
+    _add_workload_args(p)
+    p.add_argument("--method", default="fedtrip")
+    p.add_argument("--mu", type=float, default=None)
+    p.add_argument("--target", type=float, default=None)
+    p.add_argument("--out", default=None, help="save history JSON here")
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("compare", help="train several methods")
+    _add_workload_args(p)
+    p.add_argument("--methods", nargs="+",
+                   default=["fedtrip", "fedavg", "fedprox", "moon"])
+    p.add_argument("--target", type=float, default=None)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("partition", help="inspect a client partition")
+    _add_workload_args(p)
+    p.set_defaults(func=cmd_partition)
+
+    p = sub.add_parser("profile", help="dataset/model statistics")
+    p.add_argument("--dataset", default="mnist", choices=available_datasets())
+    p.add_argument("--model", default="cnn", choices=available_models())
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("theory", help="Theorem 1 quantities")
+    p.add_argument("--mu", type=float, default=6.0)
+    p.add_argument("--L", type=float, default=1.0)
+    p.add_argument("--B", type=float, default=1.0)
+    p.add_argument("--p", type=float, default=0.4)
+    p.set_defaults(func=cmd_theory)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Resource accounting: the cost side of "resource-efficient" FL."""
+
+from repro.costs.accounting import (
+    WorkloadShape,
+    attach_overhead_flops,
+    comm_overhead_units,
+    round_training_flops,
+    table8_row,
+    TABLE8_FORMULAS,
+)
+
+__all__ = [
+    "WorkloadShape",
+    "attach_overhead_flops",
+    "comm_overhead_units",
+    "round_training_flops",
+    "table8_row",
+    "TABLE8_FORMULAS",
+]

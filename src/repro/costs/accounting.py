@@ -1,0 +1,131 @@
+"""Analytic per-method resource accounting (Appendix A, Table VIII).
+
+Notation from the paper: ``K`` local iterations per round, ``M`` batch size,
+``n`` local data samples, ``|w|`` model parameters, ``FP``/``BP`` the
+forward/backward cost of a single sample, and ``p`` the number of history
+models MOON carries (1 in all experiments).
+
+Two views are provided:
+
+* :func:`attach_overhead_flops` — the closed-form Table VIII computation
+  row evaluated for a concrete model/workload;
+* :func:`comm_overhead_units` — the Table VIII communication row (in units
+  of ``|w|`` beyond the standard down+up model exchange);
+* :func:`round_training_flops` — total per-client round cost including the
+  base ``n (FP + BP)`` training work, used by Table V.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.models.profile import ModelProfile
+
+__all__ = [
+    "WorkloadShape",
+    "attach_overhead_flops",
+    "comm_overhead_units",
+    "round_training_flops",
+    "table8_row",
+    "TABLE8_FORMULAS",
+]
+
+#: Human-readable Table VIII formulas, exactly as printed in the paper.
+TABLE8_FORMULAS: Dict[str, Dict[str, str]] = {
+    "scaffold": {"computation": "2(K+1)|w| + n(FP+BP)", "communication": "2|w|"},
+    "mimelite": {"computation": "n(FP+BP)", "communication": "2|w|"},
+    "moon": {"computation": "K(M(1+p)FP)", "communication": "0"},
+    "fedprox": {"computation": "2K|w|", "communication": "0"},
+    "feddyn": {"computation": "4K|w|", "communication": "0"},
+    "fedtrip": {"computation": "4K|w|", "communication": "0"},
+    "fedavg": {"computation": "0", "communication": "0"},
+    "slowmo": {"computation": "2|w| (server)", "communication": "0"},
+    "feddane": {"computation": "4K|w| + n(FP+BP)", "communication": "2|w|"},
+    "fedgkd": {"computation": "K M FP", "communication": "0"},
+}
+
+
+@dataclass(frozen=True)
+class WorkloadShape:
+    """One client's per-round workload geometry."""
+
+    n_samples: int       # n: local data samples
+    batch_size: int      # M
+    local_epochs: int = 1
+
+    @property
+    def iterations(self) -> int:
+        """K: local iterations per round."""
+        return math.ceil(self.n_samples / self.batch_size) * self.local_epochs
+
+    @property
+    def samples_processed(self) -> int:
+        return self.n_samples * self.local_epochs
+
+
+def attach_overhead_flops(
+    method: str, profile: ModelProfile, shape: WorkloadShape, history_depth: int = 1
+) -> float:
+    """Evaluate the Table VIII computation-overhead formula numerically."""
+    key = method.lower()
+    w = profile.num_params
+    k = shape.iterations
+    fp = profile.forward_flops
+    bp = profile.backward_flops
+    n = shape.n_samples
+    m = shape.batch_size
+    if key == "fedavg":
+        return 0.0
+    if key == "fedprox":
+        return 2.0 * k * w
+    if key in ("fedtrip", "feddyn"):
+        return 4.0 * k * w
+    if key == "moon":
+        return float(k) * m * (1 + history_depth) * fp
+    if key == "fedgkd":
+        return float(k) * m * fp
+    if key == "scaffold":
+        return 2.0 * (k + 1) * w + n * (fp + bp)
+    if key == "mimelite":
+        return float(n) * (fp + bp) + 2.0 * k * w
+    if key == "feddane":
+        return 4.0 * k * w + n * (fp + bp)
+    if key == "slowmo":
+        return 2.0 * w  # server-side momentum per round
+    raise KeyError(f"no Table VIII formula for method {method!r}")
+
+
+def comm_overhead_units(method: str) -> float:
+    """Extra one-way |w|-sized transfers per round (Table VIII comm row)."""
+    key = method.lower()
+    if key in ("scaffold", "mimelite", "feddane"):
+        return 2.0
+    if key in ("moon", "fedprox", "feddyn", "fedtrip", "fedavg", "slowmo", "fedgkd"):
+        return 0.0
+    raise KeyError(f"no Table VIII formula for method {method!r}")
+
+
+def round_training_flops(
+    method: str, profile: ModelProfile, shape: WorkloadShape, history_depth: int = 1
+) -> float:
+    """Total per-client per-round FLOPs = base n(FP+BP) + attach overhead.
+
+    This is the quantity Table V accumulates over rounds ("total GFLOPs of
+    feedforward and attaching operations").
+    """
+    base = shape.samples_processed * (profile.forward_flops + profile.backward_flops)
+    return base + attach_overhead_flops(method, profile, shape, history_depth)
+
+
+def table8_row(method: str, profile: ModelProfile, shape: WorkloadShape) -> Dict[str, object]:
+    """One evaluated row of Table VIII for a concrete model/workload."""
+    key = method.lower()
+    return {
+        "method": key,
+        "computation_formula": TABLE8_FORMULAS[key]["computation"],
+        "computation_flops": attach_overhead_flops(key, profile, shape),
+        "communication_formula": TABLE8_FORMULAS[key]["communication"],
+        "communication_extra_units": comm_overhead_units(key),
+    }

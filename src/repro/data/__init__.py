@@ -1,0 +1,54 @@
+"""Datasets, loaders and non-IID partitioners."""
+
+from repro.data.specs import DatasetSpec, DATASET_SPECS, get_spec, available_datasets
+from repro.data.synthetic import SyntheticImageData, generate_dataset, make_prototypes
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.data.partition import (
+    iid_partition,
+    dirichlet_partition,
+    orthogonal_partition,
+    make_partition,
+    partition_label_counts,
+    heterogeneity_summary,
+    PARTITIONERS,
+)
+from repro.data.federated import FederatedData, build_federated_data
+from repro.data.transforms import (
+    Compose,
+    RandomShift,
+    RandomHorizontalFlip,
+    GaussianNoise,
+    FixedGain,
+    FixedContrast,
+    FixedShift,
+    client_feature_skew,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "get_spec",
+    "available_datasets",
+    "SyntheticImageData",
+    "generate_dataset",
+    "make_prototypes",
+    "ArrayDataset",
+    "DataLoader",
+    "iid_partition",
+    "dirichlet_partition",
+    "orthogonal_partition",
+    "make_partition",
+    "partition_label_counts",
+    "heterogeneity_summary",
+    "PARTITIONERS",
+    "FederatedData",
+    "build_federated_data",
+    "Compose",
+    "RandomShift",
+    "RandomHorizontalFlip",
+    "GaussianNoise",
+    "FixedGain",
+    "FixedContrast",
+    "FixedShift",
+    "client_feature_skew",
+]

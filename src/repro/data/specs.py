@@ -1,0 +1,79 @@
+"""Dataset specifications (paper Table II) and scaled-down bench variants.
+
+The paper evaluates on MNIST, FashionMNIST, EMNIST (balanced-47) and
+CIFAR-10.  This offline environment cannot download them, so each spec is
+paired with a synthetic generator (:mod:`repro.data.synthetic`) that matches
+the class count, channel count and geometry.  The ``mini_*`` variants keep
+the class/channel structure but shrink images and sample counts so the full
+6-method x 6-case benchmark grid runs on one CPU core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["DatasetSpec", "DATASET_SPECS", "get_spec", "available_datasets"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of one image-classification dataset."""
+
+    name: str
+    num_classes: int
+    channels: int
+    height: int
+    width: int
+    train_size: int
+    test_size: int
+    client_samples: int  # samples held by each client (paper Table II)
+    noise_sigma: float = 0.65   # synthetic-generator difficulty knob
+    shift_max: int = 2          # max spatial jitter in pixels
+
+    @property
+    def input_shape(self) -> Tuple[int, int, int]:
+        return (self.channels, self.height, self.width)
+
+    @property
+    def flat_dim(self) -> int:
+        return self.channels * self.height * self.width
+
+    def table2_row(self) -> Dict[str, object]:
+        """Row in the format of the paper's Table II."""
+        return {
+            "dataset": self.name,
+            "total_samples": self.train_size,
+            "classes": self.num_classes,
+            "channels": self.channels,
+            "client_samples": self.client_samples,
+        }
+
+
+DATASET_SPECS: Dict[str, DatasetSpec] = {
+    # Paper-scale specs (Table II).
+    "mnist": DatasetSpec("mnist", 10, 1, 28, 28, 60_000, 10_000, 600),
+    "fmnist": DatasetSpec("fmnist", 10, 1, 28, 28, 60_000, 10_000, 1_000, noise_sigma=0.75),
+    "emnist": DatasetSpec("emnist", 47, 1, 28, 28, 112_800, 18_800, 3_000, noise_sigma=0.75),
+    "cifar10": DatasetSpec("cifar10", 10, 3, 32, 32, 50_000, 10_000, 2_000, noise_sigma=0.85),
+    # CPU-scale variants used by the benchmark harness: same class structure,
+    # 12x12 (or 16x16 RGB) images, a few hundred samples per client.
+    "mini_mnist": DatasetSpec("mini_mnist", 10, 1, 12, 12, 4_000, 800, 200),
+    "mini_fmnist": DatasetSpec("mini_fmnist", 10, 1, 12, 12, 4_000, 800, 200, noise_sigma=0.8),
+    "mini_emnist": DatasetSpec("mini_emnist", 20, 1, 12, 12, 6_000, 1_200, 300, noise_sigma=0.8),
+    "mini_cifar10": DatasetSpec("mini_cifar10", 10, 3, 16, 16, 4_000, 800, 200, noise_sigma=0.9),
+    # Tiny specs for unit tests.
+    "tiny": DatasetSpec("tiny", 4, 1, 8, 8, 400, 100, 40),
+    "tiny_rgb": DatasetSpec("tiny_rgb", 4, 3, 8, 8, 400, 100, 40),
+}
+
+
+def get_spec(name: str) -> DatasetSpec:
+    key = name.lower()
+    if key not in DATASET_SPECS:
+        raise KeyError(f"unknown dataset {name!r}; available: {available_datasets()}")
+    return DATASET_SPECS[key]
+
+
+def available_datasets() -> Tuple[str, ...]:
+    return tuple(sorted(DATASET_SPECS))

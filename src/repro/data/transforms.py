@@ -1,0 +1,159 @@
+"""Image transforms: augmentation and feature-skew heterogeneity.
+
+Two uses:
+
+* **Augmentation** — random shift / flip / noise applied per batch during
+  local training (standard for CIFAR-scale tasks).
+* **Feature skew** — the paper's heterogeneity is label skew; the related
+  work it cites (FedBN [24]) studies *feature* non-IID, where clients see
+  the same classes through different sensors.  :func:`client_feature_skew`
+  builds per-client deterministic transforms (gain/contrast/shift) so the
+  same partitioning pipeline can produce feature-skewed federations too.
+
+All transforms are pure: ``t(x, rng) -> x'`` on ``(n, c, h, w)`` batches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Compose",
+    "RandomShift",
+    "RandomHorizontalFlip",
+    "GaussianNoise",
+    "FixedGain",
+    "FixedContrast",
+    "FixedShift",
+    "client_feature_skew",
+]
+
+Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+class Compose:
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms: Sequence[Transform]) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for t in self.transforms:
+            x = t(x, rng)
+        return x
+
+
+class RandomShift:
+    """Random circular shift of up to ``max_shift`` pixels per sample."""
+
+    def __init__(self, max_shift: int = 2) -> None:
+        if max_shift < 0:
+            raise ValueError("max_shift must be non-negative")
+        self.max_shift = int(max_shift)
+
+    def __call__(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.max_shift == 0:
+            return x
+        out = np.empty_like(x)
+        shifts = rng.integers(-self.max_shift, self.max_shift + 1, size=(x.shape[0], 2))
+        for i in range(x.shape[0]):
+            out[i] = np.roll(x[i], (int(shifts[i, 0]), int(shifts[i, 1])), axis=(1, 2))
+        return out
+
+
+class RandomHorizontalFlip:
+    """Flip each sample left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5) -> None:
+        if not 0 <= p <= 1:
+            raise ValueError("p must be in [0, 1]")
+        self.p = float(p)
+
+    def __call__(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        mask = rng.random(x.shape[0]) < self.p
+        out = x.copy()
+        out[mask] = out[mask, :, :, ::-1]
+        return out
+
+
+class GaussianNoise:
+    """Additive pixel noise."""
+
+    def __init__(self, sigma: float = 0.05) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.sigma = float(sigma)
+
+    def __call__(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.sigma == 0:
+            return x
+        return x + self.sigma * rng.standard_normal(x.shape).astype(x.dtype)
+
+
+class FixedGain:
+    """Deterministic multiplicative gain (a client's sensor sensitivity)."""
+
+    def __init__(self, gain: float) -> None:
+        if gain <= 0:
+            raise ValueError("gain must be positive")
+        self.gain = float(gain)
+
+    def __call__(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return x * np.asarray(self.gain, dtype=x.dtype)
+
+
+class FixedContrast:
+    """Deterministic contrast adjustment around the batch mean."""
+
+    def __init__(self, factor: float) -> None:
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        self.factor = float(factor)
+
+    def __call__(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        mean = x.mean(axis=(1, 2, 3), keepdims=True)
+        return ((x - mean) * np.asarray(self.factor, dtype=x.dtype) + mean).astype(x.dtype)
+
+
+class FixedShift:
+    """Deterministic circular shift (a client's fixed misalignment)."""
+
+    def __init__(self, dy: int, dx: int) -> None:
+        self.dy, self.dx = int(dy), int(dx)
+
+    def __call__(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.dy == 0 and self.dx == 0:
+            return x
+        return np.roll(x, (self.dy, self.dx), axis=(2, 3))
+
+
+def client_feature_skew(
+    n_clients: int,
+    seed: int = 0,
+    gain_range: tuple = (0.6, 1.4),
+    contrast_range: tuple = (0.6, 1.4),
+    max_shift: int = 2,
+) -> List[Compose]:
+    """One deterministic per-client transform pipeline (FedBN-style skew).
+
+    Every client gets fixed gain/contrast/shift parameters drawn once from
+    ``seed``, so its data distribution differs from other clients' in
+    feature space even when labels are IID.
+    """
+    if n_clients <= 0:
+        raise ValueError("n_clients must be positive")
+    rng = np.random.default_rng(seed)
+    pipelines: List[Compose] = []
+    for _ in range(n_clients):
+        gain = float(rng.uniform(*gain_range))
+        contrast = float(rng.uniform(*contrast_range))
+        dy, dx = (int(v) for v in rng.integers(-max_shift, max_shift + 1, size=2))
+        pipelines.append(Compose([FixedGain(gain), FixedContrast(contrast), FixedShift(dy, dx)]))
+    return pipelines
+
+
+def apply_to_dataset(x: np.ndarray, transform: Transform, seed: int = 0) -> np.ndarray:
+    """Apply a transform once to a whole array (for fixed feature skew)."""
+    return transform(x, np.random.default_rng(seed))

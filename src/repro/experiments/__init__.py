@@ -1,0 +1,10 @@
+"""Declarative experiment sweeps with caching."""
+
+from repro.experiments.sweep import (
+    ExperimentCell,
+    SweepSpec,
+    SweepRunner,
+    run_cell,
+)
+
+__all__ = ["ExperimentCell", "SweepSpec", "SweepRunner", "run_cell"]

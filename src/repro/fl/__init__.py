@@ -1,0 +1,66 @@
+"""Federated-learning runtime: server, clients, round loop, metrics."""
+
+from repro.fl.types import FLConfig, ClientUpdate, RoundRecord
+from repro.fl.history import History
+from repro.fl.sampling import UniformSampler, WeightedSampler, FixedSampler
+from repro.fl.aggregation import fedavg_aggregate, uniform_aggregate, weighted_average_trees
+from repro.fl.client import Client, run_client_round
+from repro.fl.server import Server
+from repro.fl.evaluation import evaluate_model, full_batch_gradient
+from repro.fl.executor import WorkerContext, SerialExecutor, ThreadedExecutor
+from repro.fl.simulation import Simulation, make_optimizer
+from repro.fl.availability import DropoutSampler, DiurnalSampler
+from repro.fl.centralized import CentralizedResult, train_centralized
+from repro.fl.systems import DeviceProfile, NETWORK_PRESETS, SystemModel, RoundTime
+from repro.fl.compression import (
+    QuantizationCompressor,
+    TopKCompressor,
+    CompressedExchange,
+    CompressedUploadWrapper,
+)
+from repro.fl.secure import PairwiseMasker, secure_sum
+from repro.fl.privacy import (
+    GaussianMechanism,
+    PrivacyAccountant,
+    PrivateAggregationWrapper,
+)
+
+__all__ = [
+    "FLConfig",
+    "ClientUpdate",
+    "RoundRecord",
+    "History",
+    "UniformSampler",
+    "WeightedSampler",
+    "FixedSampler",
+    "fedavg_aggregate",
+    "uniform_aggregate",
+    "weighted_average_trees",
+    "Client",
+    "run_client_round",
+    "Server",
+    "evaluate_model",
+    "full_batch_gradient",
+    "WorkerContext",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "Simulation",
+    "make_optimizer",
+    "DeviceProfile",
+    "NETWORK_PRESETS",
+    "SystemModel",
+    "RoundTime",
+    "CentralizedResult",
+    "train_centralized",
+    "DropoutSampler",
+    "DiurnalSampler",
+    "QuantizationCompressor",
+    "TopKCompressor",
+    "CompressedExchange",
+    "CompressedUploadWrapper",
+    "PairwiseMasker",
+    "secure_sum",
+    "GaussianMechanism",
+    "PrivacyAccountant",
+    "PrivateAggregationWrapper",
+]

@@ -1,0 +1,48 @@
+"""Server-side model aggregation."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.fl.types import ClientUpdate
+
+__all__ = ["fedavg_aggregate", "uniform_aggregate", "weighted_average_trees"]
+
+
+def weighted_average_trees(
+    trees: Sequence[Sequence[np.ndarray]], weights: Sequence[float]
+) -> List[np.ndarray]:
+    """Weighted mean of parameter trees; weights are normalized to sum 1."""
+    if not trees:
+        raise ValueError("no trees to aggregate")
+    w = np.asarray(weights, dtype=np.float64)
+    if w.size != len(trees):
+        raise ValueError("one weight per tree required")
+    if (w < 0).any() or w.sum() <= 0:
+        raise ValueError("weights must be non-negative with positive sum")
+    w = w / w.sum()
+    out = [np.zeros_like(a, dtype=np.float64) for a in trees[0]]
+    for tree, wk in zip(trees, w):
+        if len(tree) != len(out):
+            raise ValueError("tree structure mismatch")
+        for acc, arr in zip(out, tree):
+            acc += wk * arr
+    return [a.astype(trees[0][i].dtype) for i, a in enumerate(out)]
+
+
+def fedavg_aggregate(updates: Sequence[ClientUpdate]) -> List[np.ndarray]:
+    """FedAvg: weights proportional to client sample counts (Eq. 2)."""
+    if not updates:
+        raise ValueError("no client updates to aggregate")
+    return weighted_average_trees(
+        [u.weights for u in updates], [u.num_samples for u in updates]
+    )
+
+
+def uniform_aggregate(updates: Sequence[ClientUpdate]) -> List[np.ndarray]:
+    """Unweighted mean over participating clients."""
+    if not updates:
+        raise ValueError("no client updates to aggregate")
+    return weighted_average_trees([u.weights for u in updates], [1.0] * len(updates))

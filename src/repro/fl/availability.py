@@ -1,0 +1,113 @@
+"""Client availability simulation: dropout, churn and diurnal patterns.
+
+Real federations lose clients mid-round (battery, network, user activity).
+These samplers wrap a base selection policy with an availability process so
+the robustness of staleness-based methods (FedTrip's xi grows when clients
+are unavailable for long stretches) can be studied:
+
+* :class:`DropoutSampler` — every selected client independently fails to
+  report with probability ``dropout``; the server re-samples replacements
+  from the available pool (so the round still trains K clients when
+  possible, mirroring production FL systems' over-provisioning).
+* :class:`DiurnalSampler` — each client is only *available* during its own
+  activity window of the round cycle, creating structured long staleness
+  gaps.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.utils.rng import RngStream
+
+__all__ = ["DropoutSampler", "DiurnalSampler"]
+
+
+class DropoutSampler:
+    """Uniform K-of-N sampling with i.i.d. per-selection dropout.
+
+    The effective participation rate drops from K/N toward
+    ``K/N * (1 - dropout)`` when the pool is too small to re-sample, and
+    stays ~K/N otherwise (replacements).  At least one client is always
+    returned (a round with zero updates would deadlock synchronous FL, so
+    the "last" client is retried until success — matching systems that
+    extend the round deadline).
+    """
+
+    def __init__(
+        self,
+        n_clients: int,
+        clients_per_round: int,
+        dropout: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if not 1 <= clients_per_round <= n_clients:
+            raise ValueError("need 1 <= clients_per_round <= n_clients")
+        if not 0 <= dropout < 1:
+            raise ValueError("dropout must be in [0, 1)")
+        self.n_clients = n_clients
+        self.clients_per_round = clients_per_round
+        self.dropout = float(dropout)
+        self._root = RngStream(seed).child("dropout-sampler")
+
+    @property
+    def participation_rate(self) -> float:
+        return self.clients_per_round / self.n_clients
+
+    def select(self, round_idx: int) -> List[int]:
+        rng = self._root.child(round_idx).generator
+        order = rng.permutation(self.n_clients)
+        chosen: List[int] = []
+        for cid in order:
+            if len(chosen) == self.clients_per_round:
+                break
+            if rng.random() >= self.dropout:
+                chosen.append(int(cid))
+        if not chosen:  # extreme dropout: keep the round alive
+            chosen.append(int(order[0]))
+        return sorted(chosen)
+
+
+class DiurnalSampler:
+    """Clients are available only in their phase window of a round cycle.
+
+    Clients are assigned evenly to ``phases`` groups; group g is available
+    during rounds where ``(round // window) % phases == g``.  Selection is
+    uniform K-of-available.  With few phases this mimics timezone-driven
+    availability and produces staleness gaps of ~``window * (phases - 1)``
+    rounds — a stress test for FedTrip's staleness-scaled push.
+    """
+
+    def __init__(
+        self,
+        n_clients: int,
+        clients_per_round: int,
+        phases: int = 2,
+        window: int = 5,
+        seed: int = 0,
+    ) -> None:
+        if phases < 1 or window < 1:
+            raise ValueError("phases and window must be positive")
+        if not 1 <= clients_per_round <= n_clients // phases:
+            raise ValueError("clients_per_round exceeds per-phase availability")
+        self.n_clients = n_clients
+        self.clients_per_round = clients_per_round
+        self.phases = int(phases)
+        self.window = int(window)
+        self._root = RngStream(seed).child("diurnal-sampler")
+
+    @property
+    def participation_rate(self) -> float:
+        return self.clients_per_round / self.n_clients
+
+    def available(self, round_idx: int) -> List[int]:
+        phase = (round_idx // self.window) % self.phases
+        return [c for c in range(self.n_clients) if c % self.phases == phase]
+
+    def select(self, round_idx: int) -> List[int]:
+        pool = self.available(round_idx)
+        rng = self._root.child(round_idx).generator
+        picks = rng.choice(len(pool), size=self.clients_per_round, replace=False)
+        return sorted(pool[i] for i in picks)

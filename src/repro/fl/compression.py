@@ -1,0 +1,196 @@
+"""Update compression: quantization and sparsification (extension).
+
+The paper's introduction motivates FL partly by communication overhead;
+a natural companion to FedTrip's round-count reduction is per-round payload
+reduction.  This module provides the two standard lossy compressors used
+in the FL literature, applied to the *update* (w_k - w_glob) rather than
+the raw weights (updates are near-zero-centred, which both schemes need):
+
+* :class:`QuantizationCompressor` — uniform stochastic quantization to
+  ``bits`` bits per element (QSGD-style), unbiased;
+* :class:`TopKCompressor` — keep the largest-|.|.| fraction of entries,
+  biased but very sparse.
+
+Compressors transform a weight tree into a (payload, bytes) pair and back.
+They compose with any Strategy by wrapping aggregation at the simulation
+boundary; see ``CompressedExchange``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.vectorize import flatten_arrays, unflatten_like
+
+__all__ = ["QuantizationCompressor", "TopKCompressor", "CompressedExchange"]
+
+
+class QuantizationCompressor:
+    """Unbiased uniform stochastic quantization of a flat update vector.
+
+    Each entry is scaled into ``[0, 2^bits - 1]`` levels of its tree-wide
+    max-abs range and rounded stochastically so E[decode(encode(x))] = x.
+    """
+
+    def __init__(self, bits: int = 8, seed: int = 0) -> None:
+        if not 1 <= bits <= 16:
+            raise ValueError("bits must be in [1, 16]")
+        self.bits = int(bits)
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def levels(self) -> int:
+        return (1 << self.bits) - 1
+
+    def encode(self, tree: Sequence[np.ndarray]) -> Tuple[dict, float]:
+        flat = flatten_arrays(tree).astype(np.float64)
+        scale = float(np.max(np.abs(flat))) if flat.size else 0.0
+        if scale == 0.0:
+            q = np.zeros(flat.size, dtype=np.uint16)
+        else:
+            norm = (flat / scale + 1.0) / 2.0 * self.levels  # [0, levels]
+            lo = np.floor(norm)
+            q = (lo + (self._rng.random(flat.size) < (norm - lo))).astype(np.uint16)
+        payload = {"q": q, "scale": scale, "bits": self.bits}
+        nbytes = flat.size * self.bits / 8.0 + 8
+        return payload, nbytes
+
+    def decode(self, payload: dict, template: Sequence[np.ndarray]) -> List[np.ndarray]:
+        q = payload["q"].astype(np.float64)
+        scale = payload["scale"]
+        flat = (q / self.levels * 2.0 - 1.0) * scale
+        return [a.astype(np.float32) for a in unflatten_like(flat.astype(np.float32), template)]
+
+
+class TopKCompressor:
+    """Magnitude top-k sparsification of a flat update vector."""
+
+    def __init__(self, fraction: float = 0.1) -> None:
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        self.fraction = float(fraction)
+
+    def encode(self, tree: Sequence[np.ndarray]) -> Tuple[dict, float]:
+        flat = flatten_arrays(tree)
+        k = max(1, int(round(self.fraction * flat.size)))
+        idx = np.argpartition(np.abs(flat), -k)[-k:]
+        payload = {"idx": idx.astype(np.int64), "val": flat[idx], "size": flat.size}
+        nbytes = k * (4 + 4)  # 4-byte index + float32 value per entry
+        return payload, float(nbytes)
+
+    def decode(self, payload: dict, template: Sequence[np.ndarray]) -> List[np.ndarray]:
+        flat = np.zeros(payload["size"], dtype=np.float32)
+        flat[payload["idx"]] = payload["val"]
+        return unflatten_like(flat, template)
+
+
+@dataclass
+class CompressedExchange:
+    """Round-trip an update tree through a compressor.
+
+    ``apply(update_tree) -> (reconstructed_tree, bytes_on_wire)``.  Used by
+    benches/examples to quantify the accuracy/bytes trade-off; integrating
+    lossy exchange into the main Simulation is intentionally explicit (the
+    paper's methods are all full-precision).
+    """
+
+    compressor: object
+
+    def apply(self, tree: Sequence[np.ndarray]) -> Tuple[List[np.ndarray], float]:
+        payload, nbytes = self.compressor.encode(tree)
+        return self.compressor.decode(payload, tree), nbytes
+
+
+class CompressedUploadWrapper:
+    """Decorate any Strategy so client *uploads* go through a compressor.
+
+    The server reconstructs ``w_g + decode(encode(w_k - w_g))`` before the
+    base strategy's aggregation, and each update's ``comm_bytes`` is
+    re-charged as downlink(full model) + uplink(compressed payload) — the
+    standard FL compression deployment (downlink broadcast stays full
+    precision).  Composes with FedAvg/FedProx/FedTrip/...
+
+    Import-cycle note: Strategy lives in ``repro.algorithms.base``, which
+    imports ``repro.fl.aggregation``; this class therefore duck-types the
+    Strategy interface instead of subclassing it.
+    """
+
+    def __init__(self, base, compressor) -> None:
+        self.base = base
+        self.compressor = compressor
+        self.name = f"compressed({base.name})"
+        self.local_optimizer = base.local_optimizer
+        self.needs_preamble = base.needs_preamble
+
+    # Forwarded hooks ------------------------------------------------------
+    def server_init(self, global_weights, config):
+        return self.base.server_init(global_weights, config)
+
+    def server_broadcast(self, server_state, round_idx):
+        return self.base.server_broadcast(server_state, round_idx)
+
+    def server_preamble(self, server_state, preambles, global_weights, round_idx):
+        return self.base.server_preamble(server_state, preambles, global_weights, round_idx)
+
+    def client_preamble(self, ctx, full_grad):
+        return self.base.client_preamble(ctx, full_grad)
+
+    def init_client_state(self, client_id):
+        return self.base.init_client_state(client_id)
+
+    def on_round_start(self, ctx):
+        self.base.on_round_start(ctx)
+
+    def local_step(self, ctx, xb, yb):
+        return self.base.local_step(ctx, xb, yb)
+
+    def modify_gradients(self, ctx):
+        self.base.modify_gradients(ctx)
+
+    def on_round_end(self, ctx):
+        self.base.on_round_end(ctx)
+
+    def extra_comm_units(self):
+        return self.base.extra_comm_units()
+
+    def attach_flops_per_iteration(self, n_params, batch_size, fp_flops):
+        return self.base.attach_flops_per_iteration(n_params, batch_size, fp_flops)
+
+    def post_aggregate(self, new_weights, old_weights, updates, server_state, config):
+        return self.base.post_aggregate(new_weights, old_weights, updates, server_state, config)
+
+    def describe(self):
+        d = self.base.describe()
+        d["name"] = self.name
+        d["compression"] = type(self.compressor).__name__
+        return d
+
+    # The compression boundary ----------------------------------------------
+    def aggregate(self, updates, global_weights, server_state, config):
+        from repro.fl.types import ClientUpdate  # local import, no cycle
+
+        n_params = sum(w.size for w in global_weights)
+        reconstructed = []
+        for u in updates:
+            delta = [w - g for w, g in zip(u.weights, global_weights)]
+            payload, nbytes = self.compressor.encode(delta)
+            back = self.compressor.decode(payload, delta)
+            # Re-charge the original update's communication so the history's
+            # cost tracking reflects the compressed uplink (the simulation
+            # reads these same objects for bookkeeping after aggregation).
+            u.comm_bytes = n_params * 4.0 + float(nbytes)
+            reconstructed.append(
+                ClientUpdate(
+                    client_id=u.client_id,
+                    weights=[g + d for g, d in zip(global_weights, back)],
+                    num_samples=u.num_samples,
+                    train_loss=u.train_loss,
+                    extras=u.extras,
+                    flops=u.flops,
+                    comm_bytes=u.comm_bytes,
+                )
+            )
+        return self.base.aggregate(reconstructed, global_weights, server_state, config)

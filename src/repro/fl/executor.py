@@ -1,0 +1,94 @@
+"""Client-round execution backends.
+
+An FL round trains K independent clients; the simulation expresses each as a
+closure over a :class:`WorkerContext` (a model replica + optimizer + frozen
+reference model) and hands the batch to an executor:
+
+* :class:`SerialExecutor` — one worker context, clients trained in order.
+  The default, and the only sensible choice on a single core.
+* :class:`ThreadedExecutor` — N worker contexts served by a thread pool.
+  NumPy's BLAS kernels release the GIL, so multi-core machines overlap the
+  GEMM-heavy forward/backward work across clients.  Results are returned in
+  task order, so serial and threaded execution are bit-identical per client
+  (verified by tests).
+"""
+
+from __future__ import annotations
+
+import queue
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.fl.types import ClientUpdate
+from repro.models.fedmodel import FedModel
+from repro.nn.losses import CrossEntropyLoss
+from repro.optim.base import Optimizer
+
+__all__ = ["WorkerContext", "SerialExecutor", "ThreadedExecutor"]
+
+ClientTask = Callable[["WorkerContext"], ClientUpdate]
+
+
+@dataclass
+class WorkerContext:
+    """Per-worker mutable resources; never shared across threads."""
+
+    model: FedModel
+    frozen: FedModel
+    optimizer: Optimizer
+    criterion: CrossEntropyLoss
+
+
+class SerialExecutor:
+    """Run client tasks one after another on a single worker context."""
+
+    def __init__(self, make_worker: Callable[[], WorkerContext]) -> None:
+        self._worker = make_worker()
+
+    @property
+    def n_workers(self) -> int:
+        return 1
+
+    def run(self, tasks: List[ClientTask]) -> List[ClientUpdate]:
+        return [task(self._worker) for task in tasks]
+
+    def close(self) -> None:  # symmetry with ThreadedExecutor
+        pass
+
+
+class ThreadedExecutor:
+    """Thread-pool execution with a checkout queue of worker contexts."""
+
+    def __init__(self, make_worker: Callable[[], WorkerContext], n_workers: int = 2) -> None:
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        self._n_workers = n_workers
+        self._contexts: "queue.SimpleQueue[WorkerContext]" = queue.SimpleQueue()
+        for _ in range(n_workers):
+            self._contexts.put(make_worker())
+        self._pool = ThreadPoolExecutor(max_workers=n_workers, thread_name_prefix="fl-worker")
+
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    def _run_one(self, task: ClientTask) -> ClientUpdate:
+        ctx = self._contexts.get()
+        try:
+            return task(ctx)
+        finally:
+            self._contexts.put(ctx)
+
+    def run(self, tasks: List[ClientTask]) -> List[ClientUpdate]:
+        futures = [self._pool.submit(self._run_one, t) for t in tasks]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __del__(self) -> None:  # pragma: no cover - GC-time cleanup
+        try:
+            self._pool.shutdown(wait=False)
+        except Exception:
+            pass

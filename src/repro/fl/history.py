@@ -1,0 +1,135 @@
+"""Training history: the metric container every table/figure reads from.
+
+* Table IV/VI need :meth:`History.rounds_to_accuracy` (communication rounds
+  until the global model first reaches a target accuracy).
+* Fig. 5 needs :meth:`History.ema_accuracy` (the paper smooths curves with an
+  exponential moving average).
+* Fig. 6 needs :meth:`History.final_accuracy_stats` (mean/quartiles over the
+  last 10 rounds).
+* Table V needs the cumulative FLOPs at the target-accuracy round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.fl.types import RoundRecord
+
+__all__ = ["History"]
+
+
+@dataclass
+class History:
+    """Ordered per-round records plus derived metrics."""
+
+    records: List[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        if self.records and record.round_idx <= self.records[-1].round_idx:
+            raise ValueError("round indices must be strictly increasing")
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- raw series -----------------------------------------------------------
+    def accuracies(self) -> np.ndarray:
+        """Test accuracy per evaluated round (NaN where not evaluated)."""
+        return np.array(
+            [r.test_accuracy if r.test_accuracy is not None else np.nan for r in self.records],
+            dtype=np.float64,
+        )
+
+    def rounds(self) -> np.ndarray:
+        return np.array([r.round_idx for r in self.records], dtype=np.int64)
+
+    def train_losses(self) -> np.ndarray:
+        return np.array([r.mean_train_loss for r in self.records], dtype=np.float64)
+
+    def flops(self) -> np.ndarray:
+        return np.array([r.cumulative_flops for r in self.records], dtype=np.float64)
+
+    def comm_bytes(self) -> np.ndarray:
+        return np.array([r.cumulative_comm_bytes for r in self.records], dtype=np.float64)
+
+    # -- derived metrics ------------------------------------------------------
+    def ema_accuracy(self, alpha: float = 0.3) -> np.ndarray:
+        """Exponential moving average of the accuracy curve (paper Fig. 5).
+
+        NaN entries (rounds without evaluation) carry the previous EMA value.
+        """
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        acc = self.accuracies()
+        out = np.empty_like(acc)
+        prev = np.nan
+        for i, a in enumerate(acc):
+            if np.isnan(a):
+                out[i] = prev
+            elif np.isnan(prev):
+                out[i] = prev = a
+            else:
+                out[i] = prev = alpha * a + (1 - alpha) * prev
+        return out
+
+    def rounds_to_accuracy(self, target: float, smoothed: bool = False) -> Optional[int]:
+        """First round (1-based count of communication rounds) whose test
+        accuracy reaches ``target``; ``None`` if never reached."""
+        acc = self.ema_accuracy() if smoothed else self.accuracies()
+        hits = np.flatnonzero(acc >= target)
+        if hits.size == 0:
+            return None
+        return int(self.records[hits[0]].round_idx) + 1
+
+    def flops_to_accuracy(self, target: float) -> Optional[float]:
+        """Cumulative training GFLOPs consumed when ``target`` is first hit."""
+        acc = self.accuracies()
+        hits = np.flatnonzero(acc >= target)
+        if hits.size == 0:
+            return None
+        return float(self.records[hits[0]].cumulative_flops) / 1e9
+
+    def best_accuracy(self) -> float:
+        acc = self.accuracies()
+        valid = acc[~np.isnan(acc)]
+        return float(valid.max()) if valid.size else float("nan")
+
+    def accuracy_at_round(self, round_idx: int) -> Optional[float]:
+        """Accuracy recorded at a given 0-based round index, if evaluated."""
+        for r in self.records:
+            if r.round_idx == round_idx:
+                return r.test_accuracy
+        return None
+
+    def final_accuracy_stats(self, last_k: int = 10) -> Dict[str, float]:
+        """Boxplot statistics over the last ``last_k`` evaluated rounds
+        (paper Fig. 6 reports the mean over the last 10 rounds)."""
+        acc = self.accuracies()
+        valid = acc[~np.isnan(acc)]
+        if valid.size == 0:
+            raise ValueError("history contains no evaluated rounds")
+        tail = valid[-last_k:]
+        return {
+            "mean": float(tail.mean()),
+            "std": float(tail.std()),
+            "min": float(tail.min()),
+            "q1": float(np.percentile(tail, 25)),
+            "median": float(np.median(tail)),
+            "q3": float(np.percentile(tail, 75)),
+            "max": float(tail.max()),
+            "n": int(tail.size),
+        }
+
+    def total_gflops(self) -> float:
+        return (float(self.records[-1].cumulative_flops) / 1e9) if self.records else 0.0
+
+    def total_comm_mb(self) -> float:
+        return (
+            float(self.records[-1].cumulative_comm_bytes) / (1024**2) if self.records else 0.0
+        )
+
+    def to_dict(self) -> Dict[str, list]:
+        return {"records": [r.to_dict() for r in self.records]}

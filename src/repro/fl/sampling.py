@@ -1,0 +1,86 @@
+"""Client selection policies.
+
+The paper selects a fixed number K of clients uniformly at random each round
+(4-of-10 default, 4-of-50 in the scalability study).  A weighted sampler is
+included as an extension for availability-skew experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RngStream
+
+__all__ = ["UniformSampler", "WeightedSampler", "FixedSampler"]
+
+
+class UniformSampler:
+    """K distinct clients, uniform without replacement, seeded per round."""
+
+    def __init__(self, n_clients: int, clients_per_round: int, seed: int = 0) -> None:
+        if not 1 <= clients_per_round <= n_clients:
+            raise ValueError("need 1 <= clients_per_round <= n_clients")
+        self.n_clients = n_clients
+        self.clients_per_round = clients_per_round
+        self._root = RngStream(seed).child("sampler")
+
+    def select(self, round_idx: int) -> List[int]:
+        rng = self._root.child(round_idx).generator
+        picks = rng.choice(self.n_clients, size=self.clients_per_round, replace=False)
+        return sorted(int(p) for p in picks)
+
+    @property
+    def participation_rate(self) -> float:
+        """p = K/N — the quantity driving E[xi] in Theorem 1."""
+        return self.clients_per_round / self.n_clients
+
+
+class WeightedSampler:
+    """Selection proportional to fixed client weights (availability skew)."""
+
+    def __init__(
+        self,
+        weights: Sequence[float],
+        clients_per_round: int,
+        seed: int = 0,
+    ) -> None:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.ndim != 1 or (w < 0).any() or w.sum() <= 0:
+            raise ValueError("weights must be non-negative with positive sum")
+        if not 1 <= clients_per_round <= w.size:
+            raise ValueError("invalid clients_per_round")
+        self.weights = w / w.sum()
+        self.clients_per_round = clients_per_round
+        self.n_clients = int(w.size)
+        self._root = RngStream(seed).child("weighted-sampler")
+
+    def select(self, round_idx: int) -> List[int]:
+        rng = self._root.child(round_idx).generator
+        picks = rng.choice(
+            self.n_clients, size=self.clients_per_round, replace=False, p=self.weights
+        )
+        return sorted(int(p) for p in picks)
+
+    @property
+    def participation_rate(self) -> float:
+        return self.clients_per_round / self.n_clients
+
+
+class FixedSampler:
+    """A predetermined selection schedule (deterministic tests/ablations)."""
+
+    def __init__(self, schedule: Sequence[Sequence[int]], n_clients: Optional[int] = None) -> None:
+        if not schedule:
+            raise ValueError("schedule must be non-empty")
+        self.schedule = [sorted(int(c) for c in row) for row in schedule]
+        self.n_clients = n_clients if n_clients is not None else (max(max(r) for r in self.schedule) + 1)
+        self.clients_per_round = len(self.schedule[0])
+
+    def select(self, round_idx: int) -> List[int]:
+        return list(self.schedule[round_idx % len(self.schedule)])
+
+    @property
+    def participation_rate(self) -> float:
+        return self.clients_per_round / self.n_clients

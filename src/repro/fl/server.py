@@ -1,0 +1,77 @@
+"""Server abstraction: global weights + strategy server state."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from repro.fl.types import ClientUpdate, FLConfig
+from repro.utils.logging import get_logger
+from repro.utils.vectorize import tree_copy
+
+__all__ = ["Server"]
+
+_log = get_logger("fl.server")
+
+
+class Server:
+    """Holds the global model weights and runs strategy server hooks.
+
+    The server never owns a live model object — only the weight tree — which
+    keeps aggregation independent of layer implementations and mirrors the
+    paper's "transmit the global model / aggregate uploaded models" protocol.
+    """
+
+    def __init__(self, initial_weights: List[np.ndarray], strategy, config: FLConfig) -> None:
+        self.weights: List[np.ndarray] = tree_copy(initial_weights)
+        self.strategy = strategy
+        self.config = config
+        self.state: Dict[str, Any] = strategy.server_init(self.weights, config)
+        self.round_idx = 0
+        self.skipped_rounds = 0
+
+    @property
+    def n_params(self) -> int:
+        return int(sum(w.size for w in self.weights))
+
+    def broadcast_payload(self) -> Dict[str, Any]:
+        """Extra state shipped alongside the model (e.g. SCAFFOLD's c)."""
+        return self.strategy.server_broadcast(self.state, self.round_idx)
+
+    def run_preamble(self, preambles: Dict[int, Dict[str, Any]]) -> None:
+        self.strategy.server_preamble(self.state, preambles, self.weights, self.round_idx)
+
+    @staticmethod
+    def _finite(update: ClientUpdate) -> bool:
+        return all(np.isfinite(w).all() for w in update.weights)
+
+    def apply_updates(self, updates: Sequence[ClientUpdate]) -> None:
+        """Aggregate (Eq. 2) then let the strategy post-process, in place.
+
+        Non-finite client updates (NaN/inf from a diverged or faulty
+        client) are dropped before aggregation — one bad client must not
+        poison the global model.  If *every* update is bad the round is
+        skipped entirely (the global model is kept), mirroring production
+        FL servers that abandon a failed round rather than crash the job;
+        :attr:`skipped_rounds` counts these events.
+        """
+        if not updates:
+            raise ValueError("cannot aggregate an empty update set")
+        healthy = [u for u in updates if self._finite(u)]
+        dropped = len(updates) - len(healthy)
+        if dropped:
+            bad = sorted(u.client_id for u in updates if not self._finite(u))
+            _log.warning("round %d: dropping %d non-finite client update(s): %s",
+                         self.round_idx, dropped, bad)
+        if not healthy:
+            _log.error("round %d: every client update was non-finite; "
+                       "keeping previous global model", self.round_idx)
+            self.skipped_rounds += 1
+            self.round_idx += 1
+            return
+        old = self.weights
+        new = self.strategy.aggregate(healthy, old, self.state, self.config)
+        new = self.strategy.post_aggregate(new, old, healthy, self.state, self.config)
+        self.weights = [np.asarray(w, dtype=old[i].dtype) for i, w in enumerate(new)]
+        self.round_idx += 1

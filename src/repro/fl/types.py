@@ -1,0 +1,93 @@
+"""Shared FL value types: configuration, client updates, round records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["FLConfig", "ClientUpdate", "RoundRecord"]
+
+
+@dataclass
+class FLConfig:
+    """Experiment configuration (defaults follow Sec. V-A of the paper).
+
+    The paper's defaults: 100 rounds, batch size 50, 1 local epoch, SGD with
+    momentum 0.9 at lr 0.01, 4 clients sampled from 10 each round.
+    """
+
+    rounds: int = 100
+    n_clients: int = 10
+    clients_per_round: int = 4
+    batch_size: int = 50
+    local_epochs: int = 1
+    lr: float = 0.01
+    momentum: float = 0.9
+    optimizer: str = "sgdm"          # "sgdm" | "sgd" | "adam"
+    eval_every: int = 1              # evaluate global model every N rounds
+    eval_batch_size: int = 256
+    seed: int = 0
+    target_accuracy: Optional[float] = None   # early metadata only; loop never stops early
+    track_costs: bool = True
+    #: optional global L2 gradient clipping applied after each strategy's
+    #: gradient modification — a stability lever for aggressive mu/xi/lr
+    #: combinations (see the Fig. 7 degradation regime); None disables it.
+    max_grad_norm: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0:
+            raise ValueError("rounds must be positive")
+        if not 1 <= self.clients_per_round <= self.n_clients:
+            raise ValueError("need 1 <= clients_per_round <= n_clients")
+        if self.batch_size <= 0 or self.local_epochs <= 0:
+            raise ValueError("batch_size and local_epochs must be positive")
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+        if self.optimizer not in ("sgdm", "sgd", "adam"):
+            raise ValueError(f"unknown optimizer {self.optimizer!r}")
+        if self.max_grad_norm is not None and self.max_grad_norm <= 0:
+            raise ValueError("max_grad_norm must be positive when set")
+
+
+@dataclass
+class ClientUpdate:
+    """What one client sends back to the server after local training."""
+
+    client_id: int
+    weights: List[np.ndarray]
+    num_samples: int
+    train_loss: float
+    # Extra payloads (e.g. SCAFFOLD control-variate deltas, MimeLite full
+    # gradients).  Counted against communication in the cost model.
+    extras: Dict[str, Any] = field(default_factory=dict)
+    # Local cost bookkeeping for Table V.
+    flops: float = 0.0
+    comm_bytes: float = 0.0
+
+
+@dataclass
+class RoundRecord:
+    """Per-round metrics captured by the simulation."""
+
+    round_idx: int
+    selected: List[int]
+    test_accuracy: Optional[float]
+    test_loss: Optional[float]
+    mean_train_loss: float
+    cumulative_flops: float
+    cumulative_comm_bytes: float
+    wall_seconds: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "round": self.round_idx,
+            "selected": list(self.selected),
+            "test_accuracy": self.test_accuracy,
+            "test_loss": self.test_loss,
+            "mean_train_loss": self.mean_train_loss,
+            "cumulative_flops": self.cumulative_flops,
+            "cumulative_comm_bytes": self.cumulative_comm_bytes,
+            "wall_seconds": self.wall_seconds,
+        }

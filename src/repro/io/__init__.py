@@ -1,0 +1,17 @@
+"""Experiment persistence: histories, checkpoints, experiment manifests."""
+
+from repro.io.persistence import (
+    save_history,
+    load_history,
+    save_checkpoint,
+    load_checkpoint,
+    ExperimentStore,
+)
+
+__all__ = [
+    "save_history",
+    "load_history",
+    "save_checkpoint",
+    "load_checkpoint",
+    "ExperimentStore",
+]

@@ -1,0 +1,132 @@
+"""Saving and loading experiment artifacts.
+
+* Histories serialize to JSON (human-diffable, cite-able from docs).
+* Model checkpoints serialize to ``.npz`` via the state dict (exact
+  float32 round-trip).
+* :class:`ExperimentStore` organizes a directory of runs keyed by a
+  config-derived name, so sweeps can resume / skip completed cells.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.fl.history import History
+from repro.fl.types import RoundRecord
+
+__all__ = [
+    "save_history",
+    "load_history",
+    "save_checkpoint",
+    "load_checkpoint",
+    "ExperimentStore",
+]
+
+
+def save_history(history: History, path: str) -> str:
+    """Write a history to JSON; returns the path."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(history.to_dict(), fh, indent=2)
+    return path
+
+
+def load_history(path: str) -> History:
+    """Read a history written by :func:`save_history`."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    hist = History()
+    for rec in payload["records"]:
+        hist.append(
+            RoundRecord(
+                round_idx=int(rec["round"]),
+                selected=list(rec["selected"]),
+                test_accuracy=rec["test_accuracy"],
+                test_loss=rec["test_loss"],
+                mean_train_loss=float(rec["mean_train_loss"]),
+                cumulative_flops=float(rec["cumulative_flops"]),
+                cumulative_comm_bytes=float(rec["cumulative_comm_bytes"]),
+                wall_seconds=float(rec["wall_seconds"]),
+            )
+        )
+    return hist
+
+
+def save_checkpoint(model, path: str, metadata: Optional[Dict] = None) -> str:
+    """Write a model's state dict (plus optional JSON metadata) to .npz."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    state = model.state_dict()
+    arrays = {f"param/{k}": v for k, v in state.items()}
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **arrays)
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def load_checkpoint(model, path: str) -> Dict:
+    """Load weights saved by :func:`save_checkpoint`; returns the metadata."""
+    with np.load(path) as data:
+        state = {
+            k[len("param/"):]: data[k] for k in data.files if k.startswith("param/")
+        }
+        meta_bytes = bytes(data["__meta__"].tobytes()) if "__meta__" in data.files else b"{}"
+    model.load_state_dict(state)
+    return json.loads(meta_bytes.decode("utf-8"))
+
+
+class ExperimentStore:
+    """A directory of named runs with config-hash deduplication.
+
+    >>> store = ExperimentStore("runs/")
+    >>> key = store.key({"method": "fedtrip", "mu": 0.4, "seed": 0})
+    >>> if not store.has(key):
+    ...     hist = run_experiment(...)
+    ...     store.put(key, hist, config)
+    >>> hist = store.get(key)
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    @staticmethod
+    def key(config: Dict) -> str:
+        """Stable short hash of a JSON-serializable config dict."""
+        blob = json.dumps(config, sort_keys=True, default=str).encode("utf-8")
+        return hashlib.blake2b(blob, digest_size=8).hexdigest()
+
+    def _paths(self, key: str):
+        return (
+            os.path.join(self.root, f"{key}.history.json"),
+            os.path.join(self.root, f"{key}.config.json"),
+        )
+
+    def has(self, key: str) -> bool:
+        return os.path.exists(self._paths(key)[0])
+
+    def put(self, key: str, history: History, config: Optional[Dict] = None) -> None:
+        hist_path, cfg_path = self._paths(key)
+        save_history(history, hist_path)
+        with open(cfg_path, "w") as fh:
+            json.dump(config or {}, fh, indent=2, default=str)
+
+    def get(self, key: str) -> History:
+        if not self.has(key):
+            raise KeyError(f"no run stored under {key!r}")
+        return load_history(self._paths(key)[0])
+
+    def config(self, key: str) -> Dict:
+        _, cfg_path = self._paths(key)
+        with open(cfg_path) as fh:
+            return json.load(fh)
+
+    def keys(self):
+        for name in sorted(os.listdir(self.root)):
+            if name.endswith(".history.json"):
+                yield name[: -len(".history.json")]

@@ -1,0 +1,20 @@
+"""Model zoo: the MLP / CNN / AlexNet-lite architectures from the paper."""
+
+from repro.models.fedmodel import FedModel
+from repro.models.zoo import build_mlp, build_cnn, build_alexnet
+from repro.models.registry import MODEL_BUILDERS, build_model, available_models
+from repro.models.profile import ModelProfile, profile_model, layer_summary, format_layer_summary
+
+__all__ = [
+    "FedModel",
+    "build_mlp",
+    "build_cnn",
+    "build_alexnet",
+    "MODEL_BUILDERS",
+    "build_model",
+    "available_models",
+    "ModelProfile",
+    "profile_model",
+    "layer_summary",
+    "format_layer_summary",
+]

@@ -1,0 +1,99 @@
+"""Federated model wrapper with a features/head split.
+
+MOON and FedGKD need access to the penultimate representation ``z`` (MOON
+contrasts representations across models; FedGKD distils logits).  Every model
+in this reproduction is therefore a :class:`FedModel`: a feature extractor
+followed by a classifier head, with a backward pass that can inject an extra
+gradient at the representation boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.containers import Sequential
+from repro.nn.module import Module
+
+__all__ = ["FedModel"]
+
+
+class FedModel(Module):
+    """``logits = head(features(x))`` with gradient injection at ``z``.
+
+    Parameters
+    ----------
+    features:
+        Everything up to and including the representation layer.
+    head:
+        The classifier on top of the representation (typically one Linear).
+    input_shape:
+        Per-sample input shape, e.g. ``(1, 28, 28)``; used for FLOPs/shape
+        bookkeeping and sanity checks.
+    name:
+        Registry name ("mlp", "cnn", "alexnet", ...).
+    """
+
+    def __init__(
+        self,
+        features: Sequential,
+        head: Sequential,
+        input_shape: Tuple[int, ...],
+        name: str = "fedmodel",
+    ) -> None:
+        super().__init__()
+        self.features = features
+        self.head = head
+        self.input_shape = tuple(input_shape)
+        self.name = name
+
+    # -- forward ---------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.head(self.features(x))
+
+    def forward_with_features(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(logits, z)`` where ``z`` is the representation."""
+        z = self.features(x)
+        return self.head(z), z
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Argmax class prediction in eval mode (mode is restored)."""
+        was_training = self.training
+        self.eval()
+        try:
+            logits = self.forward(x)
+        finally:
+            self.train(was_training)
+        return np.argmax(logits, axis=1)
+
+    # -- backward ----------------------------------------------------------------
+    def backward(
+        self, dlogits: np.ndarray, dfeatures: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Backpropagate ``dlogits`` (and optionally an extra gradient on the
+        representation, as MOON requires) down to the input."""
+        dz = self.head.backward(dlogits)
+        if dfeatures is not None:
+            dz = dz + dfeatures
+        return self.features.backward(dz)
+
+    # -- bookkeeping ---------------------------------------------------------------
+    @property
+    def feature_dim(self) -> int:
+        shape = self.features.output_shape(self.input_shape)
+        if len(shape) != 1:
+            raise RuntimeError(f"feature extractor must end flat, got {shape}")
+        return shape[0]
+
+    @property
+    def num_classes(self) -> int:
+        return self.head.output_shape((self.feature_dim,))[0]
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return self.head.output_shape(self.features.output_shape(input_shape))
+
+    def forward_flops(self, input_shape: Optional[Tuple[int, ...]] = None) -> int:
+        shape = tuple(input_shape) if input_shape is not None else self.input_shape
+        z_shape = self.features.output_shape(shape)
+        return self.features.forward_flops(shape) + self.head.forward_flops(z_shape)

@@ -1,0 +1,41 @@
+"""Name-based model construction, mirroring the paper's model/dataset pairs."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.models.fedmodel import FedModel
+from repro.models.zoo import build_alexnet, build_cnn, build_mlp
+
+__all__ = ["MODEL_BUILDERS", "build_model", "available_models"]
+
+ModelBuilder = Callable[..., FedModel]
+
+MODEL_BUILDERS: Dict[str, ModelBuilder] = {
+    "mlp": build_mlp,
+    "cnn": build_cnn,
+    "alexnet": build_alexnet,
+}
+
+
+def available_models() -> Tuple[str, ...]:
+    return tuple(sorted(MODEL_BUILDERS))
+
+
+def build_model(
+    name: str,
+    input_shape: Tuple[int, ...],
+    num_classes: int,
+    rng: Optional[np.random.Generator] = None,
+    **kwargs,
+) -> FedModel:
+    """Build a registered model by name.
+
+    >>> model = build_model("cnn", (1, 28, 28), 10, rng=np.random.default_rng(0))
+    """
+    key = name.lower()
+    if key not in MODEL_BUILDERS:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+    return MODEL_BUILDERS[key](input_shape, num_classes, rng=rng, **kwargs)

@@ -1,0 +1,55 @@
+"""A from-scratch NumPy neural-network substrate.
+
+This package replaces PyTorch in the reproduction: layer modules with exact
+analytic backward passes, GEMM-based convolution, losses returning
+``(value, grad)`` pairs, and deterministic initializers.  The public surface
+mirrors a small slice of ``torch.nn`` so the FL code above it reads
+familiarly.
+"""
+
+from repro.nn.parameter import Parameter, DEFAULT_DTYPE
+from repro.nn.module import Module
+from repro.nn.linear import Linear
+from repro.nn.conv import Conv2d
+from repro.nn.pooling import MaxPool2d, AvgPool2d
+from repro.nn.activations import ReLU, LeakyReLU, Tanh, Sigmoid
+from repro.nn.regularization import Dropout, BatchNorm1d, BatchNorm2d
+from repro.nn.containers import Flatten, Sequential
+from repro.nn.losses import (
+    CrossEntropyLoss,
+    MSELoss,
+    KLDivLoss,
+    ModelContrastiveLoss,
+    TripletSampleLoss,
+)
+from repro.nn import functional
+from repro.nn import init
+from repro.nn.utils import clip_grad_norm, global_grad_norm
+
+__all__ = [
+    "Parameter",
+    "DEFAULT_DTYPE",
+    "Module",
+    "Linear",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Dropout",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "Flatten",
+    "Sequential",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "KLDivLoss",
+    "ModelContrastiveLoss",
+    "TripletSampleLoss",
+    "functional",
+    "init",
+    "clip_grad_norm",
+    "global_grad_norm",
+]

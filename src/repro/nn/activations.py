@@ -1,0 +1,109 @@
+"""Elementwise activation layers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["ReLU", "LeakyReLU", "Tanh", "Sigmoid"]
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.maximum(x, 0.0)
+        if self.training:
+            self._mask = x > 0.0
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called without a cached training forward")
+        dx = dout * self._mask
+        self._mask = None
+        return dx
+
+    def forward_flops(self, input_shape: Tuple[int, ...]) -> int:
+        return int(np.prod(input_shape))
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = float(negative_slope)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mask = x > 0.0
+        out = np.where(mask, x, self.negative_slope * x)
+        if self.training:
+            self._mask = mask
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called without a cached training forward")
+        dx = np.where(self._mask, dout, self.negative_slope * dout)
+        self._mask = None
+        return dx
+
+    def forward_flops(self, input_shape: Tuple[int, ...]) -> int:
+        return int(np.prod(input_shape))
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.tanh(x)
+        if self.training:
+            self._out = out
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called without a cached training forward")
+        dx = dout * (1.0 - self._out * self._out)
+        self._out = None
+        return dx
+
+    def forward_flops(self, input_shape: Tuple[int, ...]) -> int:
+        return int(np.prod(input_shape))
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = 1.0 / (1.0 + np.exp(-x))
+        if self.training:
+            self._out = out
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called without a cached training forward")
+        dx = dout * self._out * (1.0 - self._out)
+        self._out = None
+        return dx
+
+    def forward_flops(self, input_shape: Tuple[int, ...]) -> int:
+        return int(np.prod(input_shape))

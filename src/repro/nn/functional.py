@@ -1,0 +1,123 @@
+"""Stateless numerical kernels shared by layers and losses.
+
+Everything here is a pure function on NumPy arrays, fully vectorized; the
+im2col/col2im pair is the workhorse that turns convolution into one large
+GEMM (the standard CPU strategy — one big BLAS call instead of nested Python
+loops, per the HPC optimization guide).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "one_hot",
+    "cosine_similarity",
+    "conv_output_size",
+    "im2col",
+    "col2im",
+]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    ex = np.exp(shifted)
+    return ex / np.sum(ex, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float32) -> np.ndarray:
+    """One-hot encode integer ``labels`` into shape ``(n, num_classes)``."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError("label out of range for one_hot")
+    out = np.zeros((labels.shape[0], num_classes), dtype=dtype)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray, eps: float = 1e-8) -> np.ndarray:
+    """Row-wise cosine similarity between ``(n, d)`` matrices."""
+    an = np.linalg.norm(a, axis=1)
+    bn = np.linalg.norm(b, axis=1)
+    return np.einsum("nd,nd->n", a, b) / np.maximum(an * bn, eps)
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output spatial extent of a conv/pool dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive conv output: size={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, padding: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold ``(N, C, H, W)`` into patch rows for GEMM-based convolution.
+
+    Returns ``(cols, (oh, ow))`` where ``cols`` has shape
+    ``(N * oh * ow, C * kh * kw)``.  Built from a zero-copy strided view of
+    the padded input; the only copy is the final reshape into GEMM layout.
+    """
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+    if padding > 0:
+        xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    else:
+        xp = x
+    sn, sc, sh, sw = xp.strides
+    windows = np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, c, oh, ow, kh, kw),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    # (N, oh, ow, C, kh, kw) -> rows ordered by sample then output pixel.
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+    return np.ascontiguousarray(cols), (oh, ow)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold patch-row gradients back into an input-shaped gradient.
+
+    Inverse scatter-add of :func:`im2col`: overlapping windows accumulate.
+    """
+    n, c, h, w = x_shape
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+    hp, wp = h + 2 * padding, w + 2 * padding
+    dx_pad = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    patches = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    # Accumulate per kernel offset; kh*kw iterations of fully vectorized adds.
+    for i in range(kh):
+        i_max = i + stride * oh
+        for j in range(kw):
+            j_max = j + stride * ow
+            dx_pad[:, :, i:i_max:stride, j:j_max:stride] += patches[:, :, :, :, i, j]
+    if padding > 0:
+        return dx_pad[:, :, padding : padding + h, padding : padding + w]
+    return dx_pad

@@ -1,0 +1,44 @@
+"""Weight initializers.
+
+Each initializer takes an explicit :class:`numpy.random.Generator` so model
+construction is reproducible and independent of any global RNG state.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["kaiming_uniform", "xavier_uniform", "zeros", "fan_in_out"]
+
+
+def fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute (fan_in, fan_out) for dense and conv weight shapes.
+
+    Dense weights are ``(in, out)``; conv weights are ``(out_c, in_c, kh, kw)``.
+    """
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def kaiming_uniform(rng: np.random.Generator, shape: Tuple[int, ...], gain: float = np.sqrt(2.0)) -> np.ndarray:
+    """He/Kaiming uniform init, suited to ReLU networks."""
+    fan_in, _ = fan_in_out(shape)
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(rng: np.random.Generator, shape: Tuple[int, ...], gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform init, suited to tanh/sigmoid networks."""
+    fan_in, fan_out = fan_in_out(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)

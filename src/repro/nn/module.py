@@ -1,0 +1,135 @@
+"""Base class for all layers and models.
+
+The design is a deliberately small subset of ``torch.nn.Module``:
+
+* ``forward(x)`` computes the output and caches whatever the backward pass
+  needs on ``self`` (activations, masks, im2col buffers).
+* ``backward(dout)`` consumes the cache, **accumulates** parameter gradients
+  into ``Parameter.grad`` and returns the gradient w.r.t. the layer input.
+* ``parameters()`` walks the attribute tree to collect every
+  :class:`~repro.nn.parameter.Parameter` in a deterministic order — that order
+  defines the layout of the flat parameter vector used throughout
+  :mod:`repro.fl`.
+
+There is no autograd tape; every layer implements its analytic backward.  For
+the fixed architectures in this paper (MLP / CNN / AlexNet-lite) this is both
+faster and easier to verify with numerical gradient checks than a general
+tape would be.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+__all__ = ["Module"]
+
+
+class Module:
+    """Base layer with parameter traversal, train/eval mode and weight I/O."""
+
+    def __init__(self) -> None:
+        self.training: bool = True
+
+    # -- forward / backward --------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- tree traversal -------------------------------------------------------
+    def children(self) -> Iterator[Tuple[str, "Module"]]:
+        """Immediate child modules, in attribute-insertion order."""
+        for name, value in vars(self).items():
+            if isinstance(value, Module):
+                yield name, value
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield f"{name}.{i}", item
+
+    def modules(self) -> Iterator[Tuple[str, "Module"]]:
+        """All modules in the subtree, depth-first, prefixed paths."""
+        yield "", self
+        for cname, child in self.children():
+            for sub, mod in child.modules():
+                yield (f"{cname}.{sub}" if sub else cname), mod
+
+    def named_parameters(self) -> Iterator[Tuple[str, Parameter]]:
+        """Every parameter in the subtree with its dotted path."""
+        for prefix, mod in self.modules():
+            for name, value in vars(mod).items():
+                if isinstance(value, Parameter):
+                    yield (f"{prefix}.{name}" if prefix else name), value
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- gradients ------------------------------------------------------------
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def gradients(self) -> List[np.ndarray]:
+        """References (not copies) to every gradient buffer, in order."""
+        return [p.grad for p in self.parameters()]
+
+    # -- train / eval ----------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for _, mod in self.modules():
+            mod.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # -- weight I/O -------------------------------------------------------------
+    def get_weights(self) -> List[np.ndarray]:
+        """Detached copies of every parameter array, in traversal order."""
+        return [p.clone_data() for p in self.parameters()]
+
+    def weight_refs(self) -> List[np.ndarray]:
+        """Live references to the parameter arrays (no copies)."""
+        return [p.data for p in self.parameters()]
+
+    def set_weights(self, weights: List[np.ndarray]) -> None:
+        params = self.parameters()
+        if len(weights) != len(params):
+            raise ValueError(f"expected {len(params)} arrays, got {len(weights)}")
+        for p, w in zip(params, weights):
+            p.copy_(np.asarray(w))
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: p.clone_data() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        extra = set(state) - set(own)
+        if missing or extra:
+            raise KeyError(f"state dict mismatch; missing={sorted(missing)}, extra={sorted(extra)}")
+        for name, p in own.items():
+            p.copy_(np.asarray(state[name]))
+
+    # -- FLOPs accounting --------------------------------------------------------
+    def forward_flops(self, input_shape: Tuple[int, ...]) -> int:
+        """Multiply-add count (counted as 2 FLOPs each) of one forward pass
+        for a single sample with the given per-sample ``input_shape``.
+
+        Layers without arithmetic return 0.  Containers sum their children.
+        """
+        return 0
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Per-sample output shape for a per-sample ``input_shape``."""
+        return input_shape

@@ -1,0 +1,130 @@
+"""Spatial pooling layers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.functional import conv_output_size
+from repro.nn.module import Module
+
+__all__ = ["MaxPool2d", "AvgPool2d"]
+
+
+def _windows(x: np.ndarray, k: int, stride: int) -> np.ndarray:
+    """Strided zero-copy view ``(N, C, oh, ow, k, k)`` over pooling windows."""
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, k, stride, 0)
+    ow = conv_output_size(w, k, stride, 0)
+    sn, sc, sh, sw = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, oh, ow, k, k),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+
+
+class MaxPool2d(Module):
+    """Max pooling with square windows.
+
+    When windows overlap (stride < kernel) and several windows share the same
+    argmax element the backward pass accumulates into it, matching the
+    standard scatter-add semantics.
+    """
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+        self._argmax: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        k, s = self.kernel_size, self.stride
+        win = _windows(x, k, s)
+        n, c, oh, ow = win.shape[:4]
+        flat = win.reshape(n, c, oh, ow, k * k)
+        idx = np.argmax(flat, axis=-1)
+        out = np.take_along_axis(flat, idx[..., None], axis=-1)[..., 0]
+        if self.training:
+            self._x_shape = x.shape
+            self._argmax = idx
+        return np.ascontiguousarray(out)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._argmax is None or self._x_shape is None:
+            raise RuntimeError("backward called without a cached training forward")
+        k, s = self.kernel_size, self.stride
+        n, c, h, w = self._x_shape
+        oh, ow = dout.shape[2], dout.shape[3]
+        dx = np.zeros(self._x_shape, dtype=dout.dtype)
+        # Convert flat window argmax to absolute coordinates, then scatter-add.
+        ki = self._argmax // k
+        kj = self._argmax % k
+        oi = np.arange(oh)[None, None, :, None]
+        oj = np.arange(ow)[None, None, None, :]
+        rows = (oi * s + ki).reshape(-1)
+        cols = (oj * s + kj).reshape(-1)
+        ni = np.broadcast_to(np.arange(n)[:, None, None, None], self._argmax.shape).reshape(-1)
+        ci = np.broadcast_to(np.arange(c)[None, :, None, None], self._argmax.shape).reshape(-1)
+        np.add.at(dx, (ni, ci, rows, cols), dout.reshape(-1))
+        self._argmax = self._x_shape = None
+        return dx
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = input_shape
+        oh = conv_output_size(h, self.kernel_size, self.stride, 0)
+        ow = conv_output_size(w, self.kernel_size, self.stride, 0)
+        return (c, oh, ow)
+
+    def forward_flops(self, input_shape: Tuple[int, ...]) -> int:
+        c, oh, ow = self.output_shape(input_shape)
+        # One comparison per window element, counted as one FLOP.
+        return c * oh * ow * self.kernel_size * self.kernel_size
+
+
+class AvgPool2d(Module):
+    """Average pooling with square windows."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        win = _windows(x, self.kernel_size, self.stride)
+        out = win.mean(axis=(-2, -1))
+        if self.training:
+            self._x_shape = x.shape
+        return np.ascontiguousarray(out)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called without a cached training forward")
+        k, s = self.kernel_size, self.stride
+        n, c, h, w = self._x_shape
+        oh, ow = dout.shape[2], dout.shape[3]
+        dx = np.zeros(self._x_shape, dtype=dout.dtype)
+        share = dout / (k * k)
+        for i in range(k):
+            for j in range(k):
+                dx[:, :, i : i + s * oh : s, j : j + s * ow : s] += share
+        self._x_shape = None
+        return dx
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = input_shape
+        oh = conv_output_size(h, self.kernel_size, self.stride, 0)
+        ow = conv_output_size(w, self.kernel_size, self.stride, 0)
+        return (c, oh, ow)
+
+    def forward_flops(self, input_shape: Tuple[int, ...]) -> int:
+        c, oh, ow = self.output_shape(input_shape)
+        return c * oh * ow * self.kernel_size * self.kernel_size

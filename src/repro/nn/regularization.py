@@ -1,0 +1,136 @@
+"""Dropout and batch normalization."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+__all__ = ["Dropout", "BatchNorm1d", "BatchNorm2d"]
+
+
+class Dropout(Module):
+    """Inverted dropout: active only in training mode.
+
+    An explicit generator may be provided for reproducibility; otherwise a
+    default one is created (sufficient for tests).
+    """
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = float(p)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        mask = (self.rng.random(x.shape) < keep).astype(x.dtype) / keep
+        self._mask = mask
+        return x * mask
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return dout
+        dx = dout * self._mask
+        self._mask = None
+        return dx
+
+
+class _BatchNormBase(Module):
+    """Shared machinery for 1-D and 2-D batch norm."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        self.num_features = num_features
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.gamma = Parameter(np.ones(num_features, dtype=np.float32), "gamma")
+        self.beta = Parameter(np.zeros(num_features, dtype=np.float32), "beta")
+        # Running statistics are state, not parameters: they are excluded from
+        # parameter traversal (plain arrays) but still ride along in FL weight
+        # exchange via state_dict-style helpers if needed.
+        self.running_mean = np.zeros(num_features, dtype=np.float32)
+        self.running_var = np.ones(num_features, dtype=np.float32)
+        self._cache = None
+
+    def _axes(self, x: np.ndarray) -> Tuple[int, ...]:
+        raise NotImplementedError
+
+    def _shape(self, x: np.ndarray) -> Tuple[int, ...]:
+        raise NotImplementedError
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        axes = self._axes(x)
+        bshape = self._shape(x)
+        if self.training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            ).astype(np.float32)
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            ).astype(np.float32)
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean.reshape(bshape)) * inv_std.reshape(bshape)
+        out = self.gamma.data.reshape(bshape) * x_hat + self.beta.data.reshape(bshape)
+        if self.training:
+            self._cache = (x_hat, inv_std, axes, bshape)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called without a cached training forward")
+        x_hat, inv_std, axes, bshape = self._cache
+        m = dout.size / self.num_features
+        self.gamma.grad += (dout * x_hat).sum(axis=axes)
+        self.beta.grad += dout.sum(axis=axes)
+        g = self.gamma.data.reshape(bshape)
+        dxhat = dout * g
+        dx = (
+            dxhat
+            - dxhat.mean(axis=axes, keepdims=True)
+            - x_hat * (dxhat * x_hat).mean(axis=axes, keepdims=True)
+        ) * inv_std.reshape(bshape)
+        # note: mean over axes uses m elements per feature; keepdims broadcast
+        self._cache = None
+        return dx
+
+    def forward_flops(self, input_shape: Tuple[int, ...]) -> int:
+        return 4 * int(np.prod(input_shape))
+
+
+class BatchNorm1d(_BatchNormBase):
+    """Batch norm over ``(N, F)`` activations."""
+
+    def _axes(self, x: np.ndarray) -> Tuple[int, ...]:
+        if x.ndim != 2:
+            raise ValueError(f"BatchNorm1d expects (n, f), got {x.shape}")
+        return (0,)
+
+    def _shape(self, x: np.ndarray) -> Tuple[int, ...]:
+        return (1, self.num_features)
+
+
+class BatchNorm2d(_BatchNormBase):
+    """Batch norm over ``(N, C, H, W)`` activations, per channel."""
+
+    def _axes(self, x: np.ndarray) -> Tuple[int, ...]:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects (n, c, h, w), got {x.shape}")
+        return (0, 2, 3)
+
+    def _shape(self, x: np.ndarray) -> Tuple[int, ...]:
+        return (1, self.num_features, 1, 1)

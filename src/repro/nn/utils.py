@@ -1,0 +1,37 @@
+"""Gradient utilities."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+__all__ = ["clip_grad_norm", "global_grad_norm"]
+
+
+def global_grad_norm(params: Sequence[Parameter]) -> float:
+    """L2 norm of all gradients concatenated."""
+    total = 0.0
+    for p in params:
+        g = p.grad.ravel()
+        total += float(np.dot(g, g))
+    return math.sqrt(total)
+
+
+def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= ``max_norm``.
+
+    Returns the pre-clipping norm (useful for logging/diagnostics).  The
+    same semantics as ``torch.nn.utils.clip_grad_norm_``.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    norm = global_grad_norm(params)
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for p in params:
+            p.grad *= scale
+    return norm

@@ -1,0 +1,14 @@
+"""Optimizers and learning-rate schedules.
+
+The paper's default local optimizer is SGD with momentum 0.9 and lr 0.01
+(SlowMo and FedDyn use plain SGD).  Algorithms inject their regularization
+*into the gradient buffers* before ``step()`` — exactly Algorithm 1 line 7-8:
+``h = grad F + mu((w - w_glob) + xi(w_hist - w))`` then ``w -= alpha U(h)``
+where ``U`` is the optimizer update rule.
+"""
+
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.schedules import ConstantLR, StepDecayLR, CosineLR
+
+__all__ = ["SGD", "Adam", "ConstantLR", "StepDecayLR", "CosineLR"]

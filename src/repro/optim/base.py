@@ -1,0 +1,40 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.nn.parameter import Parameter
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Updates a fixed list of parameters from their ``grad`` buffers.
+
+    State (momentum buffers etc.) is positional, so an optimizer stays valid
+    as long as parameter *shapes* are unchanged — which FL guarantees, since
+    every round replaces weights in place via ``Module.set_weights``.
+    """
+
+    def __init__(self, params: Sequence[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def reset_state(self) -> None:
+        """Clear internal state (e.g. momentum) without touching weights.
+
+        Called at the start of each FL round: local momentum must not leak
+        across rounds because the client restarts from the global model.
+        """

@@ -1,0 +1,53 @@
+"""Learning-rate schedules over communication rounds.
+
+The paper uses a fixed lr of 0.01; schedules are provided as extensions so
+the sensitivity benches can sweep decay policies.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ConstantLR", "StepDecayLR", "CosineLR"]
+
+
+class ConstantLR:
+    """``lr(t) = lr0``."""
+
+    def __init__(self, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = float(lr)
+
+    def __call__(self, round_idx: int) -> float:
+        return self.lr
+
+
+class StepDecayLR:
+    """``lr(t) = lr0 * gamma^(t // step)``."""
+
+    def __init__(self, lr: float, step: int, gamma: float = 0.5) -> None:
+        if lr <= 0 or step <= 0 or not 0 < gamma <= 1:
+            raise ValueError("invalid StepDecayLR configuration")
+        self.lr = float(lr)
+        self.step = int(step)
+        self.gamma = float(gamma)
+
+    def __call__(self, round_idx: int) -> float:
+        return self.lr * self.gamma ** (round_idx // self.step)
+
+
+class CosineLR:
+    """Cosine annealing from ``lr0`` to ``lr_min`` over ``total`` rounds."""
+
+    def __init__(self, lr: float, total: int, lr_min: float = 0.0) -> None:
+        if lr <= 0 or total <= 0 or lr_min < 0 or lr_min > lr:
+            raise ValueError("invalid CosineLR configuration")
+        self.lr = float(lr)
+        self.total = int(total)
+        self.lr_min = float(lr_min)
+
+    def __call__(self, round_idx: int) -> float:
+        t = min(round_idx, self.total)
+        cos = 0.5 * (1 + math.cos(math.pi * t / self.total))
+        return self.lr_min + (self.lr - self.lr_min) * cos

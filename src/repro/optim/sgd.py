@@ -1,0 +1,63 @@
+"""Stochastic gradient descent with optional (heavy-ball) momentum."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+from repro.optim.base import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """``v = m v + g; w -= lr v`` (PyTorch-style momentum).
+
+    With ``momentum=0`` this is plain SGD.  ``weight_decay`` adds ``wd * w``
+    to the gradient (decoupled L2, applied before momentum), and
+    ``nesterov=True`` uses the lookahead form.
+    """
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(params, lr)
+        if momentum < 0 or weight_decay < 0:
+            raise ValueError("momentum and weight_decay must be non-negative")
+        if nesterov and momentum == 0:
+            raise ValueError("nesterov requires momentum > 0")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.nesterov = nesterov
+        self._velocity: Optional[List[np.ndarray]] = None
+
+    def reset_state(self) -> None:
+        self._velocity = None
+
+    def step(self) -> None:
+        if self.momentum == 0.0:
+            for p in self.params:
+                g = p.grad
+                if self.weight_decay:
+                    g = g + self.weight_decay * p.data
+                p.data -= self.lr * g
+            return
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p.data) for p in self.params]
+        for p, v in zip(self.params, self._velocity):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            v *= self.momentum
+            v += g
+            if self.nesterov:
+                p.data -= self.lr * (g + self.momentum * v)
+            else:
+                p.data -= self.lr * v

@@ -1,0 +1,38 @@
+"""Minimal logging facade used across the library.
+
+Wraps :mod:`logging` so that library code never configures the root logger
+(an anti-pattern for importable libraries) while examples and benchmarks can
+opt into console output with :func:`set_verbosity`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "set_verbosity"]
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Return a logger under the ``repro`` namespace."""
+    full = _ROOT_NAME if not name else f"{_ROOT_NAME}.{name}"
+    logger = logging.getLogger(full)
+    logger.addHandler(logging.NullHandler())
+    return logger
+
+
+def set_verbosity(level: int = logging.INFO) -> None:
+    """Attach a stderr handler to the ``repro`` logger (idempotent)."""
+    global _configured
+    logger = logging.getLogger(_ROOT_NAME)
+    logger.setLevel(level)
+    if not _configured:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s", "%H:%M:%S")
+        )
+        logger.addHandler(handler)
+        _configured = True

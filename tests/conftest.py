@@ -1,0 +1,97 @@
+"""Shared fixtures and the numerical gradient-check helper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import build_federated_data
+from repro.fl import FLConfig
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_data():
+    """A 6-client Dirichlet-partitioned tiny dataset shared across tests."""
+    return build_federated_data("tiny", n_clients=6, partition="dirichlet", alpha=0.5, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_iid_data():
+    return build_federated_data("tiny", n_clients=6, partition="iid", seed=0)
+
+
+@pytest.fixture
+def small_config():
+    return FLConfig(
+        rounds=3, n_clients=6, clients_per_round=3, batch_size=20, lr=0.05, seed=1
+    )
+
+
+# ---------------------------------------------------------------------------
+# Numerical gradient checking for layers (float32 tolerances).
+# ---------------------------------------------------------------------------
+
+def numeric_grad_scalar(f, x: np.ndarray, eps: float = 1e-2, max_checks: int = 40, seed: int = 0):
+    """Central-difference gradient of scalar f at sampled entries of x.
+
+    Returns (indices, numeric_values) for up to ``max_checks`` randomly
+    sampled flat indices — checking every entry of a conv kernel would be
+    O(params) forward passes for no extra signal.
+    """
+    rng = np.random.default_rng(seed)
+    flat = x.reshape(-1)
+    n = flat.size
+    idx = rng.choice(n, size=min(max_checks, n), replace=False)
+    grads = np.empty(idx.size, dtype=np.float64)
+    for j, i in enumerate(idx):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = f()
+        flat[i] = orig - eps
+        fm = f()
+        flat[i] = orig
+        grads[j] = (fp - fm) / (2 * eps)
+    return idx, grads
+
+
+def check_layer_gradients(layer, x: np.ndarray, atol: float = 2e-2, rtol: float = 8e-2, seed: int = 0):
+    """Verify a layer's analytic backward against central differences.
+
+    Strategy: define scalar loss L = sum(forward(x) * R) for a fixed random
+    R; then dL/dx = backward(R) and dL/dw accumulates in parameter grads.
+    Checks the input gradient and every parameter's gradient on sampled
+    entries.  Tolerances are sized for float32 arithmetic.
+    """
+    rng = np.random.default_rng(seed)
+    layer.train()
+    out = layer.forward(x)
+    r = rng.standard_normal(out.shape).astype(x.dtype)
+
+    def loss() -> float:
+        return float(np.sum(layer.forward(x).astype(np.float64) * r))
+
+    # Analytic gradients.
+    layer.zero_grad()
+    layer.forward(x)
+    dx = layer.backward(r)
+
+    def compare(name, analytic, target_array, f):
+        idx, num = numeric_grad_scalar(f, target_array, seed=seed + hash(name) % 1000)
+        ana = analytic.reshape(-1)[idx].astype(np.float64)
+        denom = np.maximum(np.abs(num), np.abs(ana))
+        err = np.abs(num - ana)
+        ok = (err <= atol) | (err <= rtol * denom)
+        assert ok.all(), (
+            f"{name}: gradient mismatch; worst abs err "
+            f"{err.max():.4g} at analytic={ana[err.argmax()]:.4g} "
+            f"numeric={num[err.argmax()]:.4g}"
+        )
+
+    compare("input", dx, x, loss)
+    for pname, p in layer.named_parameters():
+        compare(f"param:{pname}", p.grad, p.data, loss)

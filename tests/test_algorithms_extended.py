@@ -1,0 +1,139 @@
+"""Extended baselines: FedNova, FedAvgM, AdaptiveFedTrip."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    AdaptiveFedTrip,
+    FedAvg,
+    FedAvgM,
+    FedNova,
+    FedTrip,
+    build_strategy,
+)
+from repro.algorithms.fednova import _effective_tau
+from repro.fl import FLConfig, Simulation
+
+
+def _run(data, strategy, config, **kw):
+    sim = Simulation(data, strategy, config, model_name="mlp", **kw)
+    hist = sim.run()
+    sim.close()
+    return sim, hist
+
+
+class TestEffectiveTau:
+    def test_plain_sgd_is_step_count(self):
+        assert _effective_tau(7, 0.0) == 7.0
+
+    def test_momentum_amplifies(self):
+        assert _effective_tau(7, 0.9) > 7.0
+
+    def test_limit_matches_formula(self):
+        m, steps = 0.5, 10
+        expected = (steps - m * (1 - m**steps) / (1 - m)) / (1 - m)
+        assert _effective_tau(steps, m) == pytest.approx(expected)
+
+
+class TestFedNova:
+    def test_registered(self):
+        assert build_strategy("fednova").name == "fednova"
+
+    def test_equal_shards_close_to_fedavg(self, tiny_data, small_config):
+        """With equal shard sizes and equal tau, normalized averaging is a
+        reweighting of the same displacements: results should stay close to
+        FedAvg (identical in the homogeneous-tau case)."""
+        _, h_nova = _run(tiny_data, FedNova(), small_config)
+        _, h_avg = _run(tiny_data, FedAvg(), small_config)
+        # Equal shard sizes -> taus equal -> tau_eff/tau = 1 -> identical.
+        np.testing.assert_allclose(h_nova.accuracies(), h_avg.accuracies(), atol=1e-5)
+
+    def test_heterogeneous_epochs_still_learns(self, tiny_data):
+        cfg = FLConfig(rounds=4, n_clients=6, clients_per_round=3, batch_size=10,
+                       local_epochs=2, lr=0.05, seed=0)
+        _, hist = _run(tiny_data, FedNova(), cfg)
+        assert hist.best_accuracy() > 30.0
+
+    def test_uploads_tau(self, tiny_data, small_config):
+        sim = Simulation(tiny_data, FedNova(), small_config, model_name="mlp")
+        sim.run_round()
+        sim.close()  # no error => tau_eff was present during aggregation
+
+
+class TestFedAvgM:
+    def test_beta_zero_is_fedavg(self, tiny_data, small_config):
+        _, h_m = _run(tiny_data, FedAvgM(beta=0.0), small_config)
+        _, h_avg = _run(tiny_data, FedAvg(), small_config)
+        np.testing.assert_allclose(h_m.accuracies(), h_avg.accuracies(), atol=1e-5)
+
+    def test_momentum_state_accumulates(self, tiny_data, small_config):
+        sim = Simulation(tiny_data, FedAvgM(beta=0.9), small_config, model_name="mlp")
+        sim.run()
+        assert any(np.abs(v).sum() > 0 for v in sim.server.state["v"])
+        sim.close()
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            FedAvgM(beta=1.0)
+
+
+class TestAdaptiveFedTrip:
+    def test_registered_with_paper_defaults(self):
+        s = build_strategy("fedtrip_adaptive", model="mlp")
+        assert s.mu == 1.0
+
+    def test_mu_stays_in_bounds(self, tiny_data, small_config):
+        strat = AdaptiveFedTrip(mu=0.4, mu_min=0.1, mu_max=1.0, growth=2.0)
+        sim = Simulation(tiny_data, strat, small_config, model_name="mlp")
+        sim.run()
+        assert 0.1 <= sim.server.state["mu"] <= 1.0
+        sim.close()
+
+    def test_mu_tightens_on_loss_increase(self):
+        strat = AdaptiveFedTrip(mu=0.4, mu_min=0.01, mu_max=2.0, growth=1.5)
+        state = strat.server_init([np.zeros(2)], FLConfig(rounds=1, n_clients=1, clients_per_round=1))
+
+        from repro.fl.types import ClientUpdate
+
+        def fake_updates(loss):
+            return [ClientUpdate(0, [np.zeros(2, dtype=np.float32)], 1, loss)]
+
+        strat.post_aggregate([np.zeros(2)], [np.zeros(2)], fake_updates(1.0), state,
+                             FLConfig(rounds=1, n_clients=1, clients_per_round=1))
+        mu0 = state["mu"]
+        strat.post_aggregate([np.zeros(2)], [np.zeros(2)], fake_updates(2.0), state,
+                             FLConfig(rounds=1, n_clients=1, clients_per_round=1))
+        assert state["mu"] == pytest.approx(mu0 * 1.5)
+
+    def test_mu_relaxes_after_patience(self):
+        strat = AdaptiveFedTrip(mu=0.4, growth=2.0, patience=2)
+        cfg = FLConfig(rounds=1, n_clients=1, clients_per_round=1)
+        state = strat.server_init([np.zeros(2)], cfg)
+
+        from repro.fl.types import ClientUpdate
+
+        def step(loss):
+            strat.post_aggregate(
+                [np.zeros(2)], [np.zeros(2)],
+                [ClientUpdate(0, [np.zeros(2, dtype=np.float32)], 1, loss)],
+                state, cfg,
+            )
+
+        step(2.0)        # set prev
+        step(1.5)        # improving (streak 1)
+        step(1.0)        # improving (streak 2 -> relax)
+        assert state["mu"] == pytest.approx(0.2)
+
+    def test_trains_end_to_end(self, tiny_data, small_config):
+        _, hist = _run(tiny_data, AdaptiveFedTrip(mu=0.4), small_config)
+        assert hist.best_accuracy() > 30.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveFedTrip(mu=0.4, mu_min=0.5)
+        with pytest.raises(ValueError):
+            AdaptiveFedTrip(growth=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveFedTrip(patience=0)

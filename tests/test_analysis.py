@@ -1,0 +1,172 @@
+"""Theory calculator, toy trajectories, PCA and t-SNE."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ConvergenceComparison,
+    QuadraticClient,
+    ToyFLProblem,
+    compare_fedprox_fedtrip,
+    expected_xi,
+    pca,
+    rho,
+    rho_positive,
+    simulate_toy,
+    staleness_distribution,
+    suggested_mu,
+    tsne,
+)
+
+
+class TestTheory:
+    def test_expected_xi_limits(self):
+        assert expected_xi(1.0) == 1.0
+        assert expected_xi(1e-9) < 1e-6
+
+    def test_expected_xi_monotone(self):
+        """Paper: E[xi] = p ln p/(p-1) is monotonically increasing in p."""
+        ps = np.linspace(0.01, 1.0, 50)
+        vals = [expected_xi(p) for p in ps]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+    def test_expected_xi_known_value(self):
+        # p=0.4 (paper's 4-of-10): 0.4 ln 0.4 / (-0.6)
+        assert expected_xi(0.4) == pytest.approx(0.4 * np.log(0.4) / (0.4 - 1.0))
+
+    def test_expected_xi_domain(self):
+        with pytest.raises(ValueError):
+            expected_xi(0.0)
+        with pytest.raises(ValueError):
+            expected_xi(1.5)
+
+    def test_rho_gamma_zero_form(self):
+        """rho(gamma=0) = 1/mu - LB/mu^2 - LB^2/(2 mu^2)."""
+        mu, L, B = 6.0, 1.0, 1.0
+        assert rho(mu, L, B) == pytest.approx(1 / mu - L * B / mu**2 - L * B**2 / (2 * mu**2))
+
+    def test_suggested_mu_makes_rho_positive(self):
+        for L in (0.5, 1.0, 3.0):
+            for B in (1.0, 2.0):
+                assert rho_positive(suggested_mu(L, B), L, B)
+
+    def test_small_mu_breaks_descent(self):
+        assert not rho_positive(0.01, 1.0, 2.0)
+
+    def test_rho_validation(self):
+        with pytest.raises(ValueError):
+            rho(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            rho(1.0, 1.0, 1.0, gamma=1.0)
+
+    def test_staleness_distribution_is_geometric(self):
+        dist = staleness_distribution(0.4, max_rounds=500)
+        total = sum(dist.values())
+        assert total == pytest.approx(1.0, abs=1e-8)
+        mean = sum(s * p for s, p in dist.items())
+        assert mean == pytest.approx(1 / 0.4, abs=1e-3)
+
+    def test_comparison_same_rho_extra_qt(self):
+        cmp = compare_fedprox_fedtrip(mu=6.0, L=1.0, B=1.0, participation_rate=0.4)
+        assert cmp.rho_fedprox == cmp.rho_fedtrip
+        assert cmp.qt_coefficient > 0
+        assert cmp.fedtrip_strictly_faster
+        assert cmp.summary()["fedtrip_strictly_faster"] == 1.0
+
+
+class TestToy:
+    def test_quadratic_client_validation(self):
+        with pytest.raises(ValueError):
+            QuadraticClient(np.zeros(2), np.array([[1.0, 2.0], [0.0, 1.0]]))  # asymmetric
+        with pytest.raises(ValueError):
+            QuadraticClient(np.zeros(2), -np.eye(2))  # not PD
+
+    def test_global_optimum_closed_form(self):
+        prob = ToyFLProblem.two_client(separation=2.0)
+        w_star = prob.global_optimum()
+        # Gradient of the summed objective vanishes at w*.
+        g = sum(c.grad(w_star) for c in prob.clients)
+        np.testing.assert_allclose(g, 0.0, atol=1e-10)
+
+    def test_iid_case_optima_coincide(self):
+        prob = ToyFLProblem.two_client(separation=0.0)
+        np.testing.assert_allclose(prob.clients[0].optimum, prob.clients[1].optimum)
+
+    def test_all_methods_converge_toward_optimum(self):
+        prob = ToyFLProblem.two_client(separation=2.0)
+        for method in ("fedavg", "fedprox", "fedtrip"):
+            out = simulate_toy(prob, method=method, rounds=40, local_steps=3, lr=0.1)
+            d = out["distance_to_optimum"]
+            assert d[-1] < d[0] * 0.5, f"{method} failed to approach optimum"
+
+    def test_fedtrip_uses_history(self):
+        """FedTrip trajectories must differ from FedProx after round 1."""
+        prob = ToyFLProblem.two_client(separation=2.0)
+        prox = simulate_toy(prob, "fedprox", rounds=5, mu=0.5)
+        trip = simulate_toy(prob, "fedtrip", rounds=5, mu=0.5, xi=1.0)
+        np.testing.assert_allclose(
+            prox["global_trajectory"][1], trip["global_trajectory"][1], atol=1e-12
+        )
+        assert not np.allclose(prox["global_trajectory"][3], trip["global_trajectory"][3])
+
+    def test_trajectory_shapes(self):
+        prob = ToyFLProblem.two_client()
+        out = simulate_toy(prob, rounds=4, local_steps=3)
+        assert out["global_trajectory"].shape == (5, 2)
+        assert len(out["local_trajectories"]) == 4
+        assert len(out["local_trajectories"][0][0]) == 4  # init + 3 steps
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            simulate_toy(ToyFLProblem.two_client(), method="adam")
+
+
+class TestPCA:
+    def test_recovers_dominant_direction(self, rng):
+        direction = np.array([3.0, 4.0]) / 5.0
+        t = rng.standard_normal(200)
+        x = np.outer(t, direction) + 0.01 * rng.standard_normal((200, 2))
+        proj, ratio = pca(x, 1)
+        assert ratio[0] > 0.99
+        # Projection should correlate almost perfectly with t.
+        corr = abs(np.corrcoef(proj[:, 0], t)[0, 1])
+        assert corr > 0.999
+
+    def test_shapes(self, rng):
+        proj, ratio = pca(rng.standard_normal((30, 8)), 3)
+        assert proj.shape == (30, 3)
+        assert ratio.shape == (3,)
+
+    def test_1d_input_rejected(self, rng):
+        with pytest.raises(ValueError):
+            pca(rng.standard_normal(10), 2)
+
+
+class TestTSNE:
+    def test_separates_well_separated_clusters(self, rng):
+        """Two far-apart Gaussian blobs must stay separable in the embedding."""
+        a = rng.standard_normal((30, 10)) + 20.0
+        b = rng.standard_normal((30, 10)) - 20.0
+        x = np.vstack([a, b])
+        y = tsne(x, perplexity=10, iterations=150, seed=0)
+        da = y[:30].mean(axis=0)
+        db = y[30:].mean(axis=0)
+        spread = max(y[:30].std(), y[30:].std())
+        assert np.linalg.norm(da - db) > 2 * spread
+
+    def test_output_shape(self, rng):
+        y = tsne(rng.standard_normal((25, 6)), iterations=50)
+        assert y.shape == (25, 2)
+        assert np.isfinite(y).all()
+
+    def test_too_few_points(self, rng):
+        with pytest.raises(ValueError):
+            tsne(rng.standard_normal((3, 4)))
+
+    def test_deterministic(self, rng):
+        x = rng.standard_normal((20, 5))
+        y1 = tsne(x, iterations=50, seed=1)
+        y2 = tsne(x, iterations=50, seed=1)
+        np.testing.assert_array_equal(y1, y2)

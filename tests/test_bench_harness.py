@@ -1,0 +1,87 @@
+"""Unit tests for the benchmark harness utilities (benchmarks/harness.py)."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+BENCH_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "benchmarks")
+sys.path.insert(0, BENCH_DIR)
+
+import harness  # noqa: E402
+import make_report  # noqa: E402
+
+
+class TestFormatting:
+    def test_fmt_rounds(self):
+        assert harness.fmt_rounds(7, 30) == "7"
+        assert harness.fmt_rounds(None, 30) == ">30"
+
+    def test_relative(self):
+        assert harness.relative(20, 10) == "2.00x"
+        assert harness.relative(None, 10) == "-"
+        assert harness.relative(10, None) == "-"
+
+    def test_print_table_alignment(self, capsys):
+        harness.print_table("t", ["a", "bb"], [["1", "2"], ["333", "4"]])
+        out = capsys.readouterr().out
+        assert "=== t ===" in out
+        rows = [ln for ln in out.splitlines() if ln and not ln.startswith("===")]
+        # Second column starts at the same offset on every row.
+        offsets = {ln.index(c) for ln, c in zip(rows, ["bb", "2", "4"])}
+        assert len(offsets) == 1
+
+    def test_md_table(self):
+        out = make_report.md_table(["x", "y"], [["1", "2"]])
+        assert out.splitlines()[0] == "| x | y |"
+        assert out.splitlines()[1] == "|---|---|"
+        assert out.splitlines()[2] == "| 1 | 2 |"
+
+
+class TestRunCaseCache:
+    def test_memoizes_identical_calls(self):
+        h1 = harness.run_case(
+            "tiny", "mlp", "fedavg", partition="iid", alpha=None,
+            rounds=2, n_clients=4, clients_per_round=2, batch_size=20, lr=0.05,
+        )
+        before = len(harness._RUN_CACHE)
+        h2 = harness.run_case(
+            "tiny", "mlp", "fedavg", partition="iid", alpha=None,
+            rounds=2, n_clients=4, clients_per_round=2, batch_size=20, lr=0.05,
+        )
+        assert h2 is h1  # same object -> cache hit
+        assert len(harness._RUN_CACHE) == before
+
+    def test_overrides_key_cache(self):
+        kwargs = dict(partition="iid", alpha=None, rounds=2, n_clients=4,
+                      clients_per_round=2, batch_size=20, lr=0.05)
+        a = harness.run_case("tiny", "mlp", "fedtrip", strategy_overrides={"mu": 0.1}, **kwargs)
+        b = harness.run_case("tiny", "mlp", "fedtrip", strategy_overrides={"mu": 0.2}, **kwargs)
+        assert a is not b
+
+    def test_none_and_empty_overrides_share_key(self):
+        kwargs = dict(partition="iid", alpha=None, rounds=2, n_clients=4,
+                      clients_per_round=2, batch_size=20, lr=0.05)
+        a = harness.run_case("tiny", "mlp", "fedprox", strategy_overrides=None, **kwargs)
+        b = harness.run_case("tiny", "mlp", "fedprox", strategy_overrides={}, **kwargs)
+        assert a is b
+
+    def test_data_cache_shared(self):
+        d1 = harness.get_data("tiny", 4, "iid")
+        d2 = harness.get_data("tiny", 4, "iid")
+        assert d1 is d2
+
+
+class TestMakeReportSections:
+    def test_sections_run_on_existing_outputs(self):
+        """If the bench suite has produced out/*.json, every section must
+        render without error; missing files must yield empty strings."""
+        for section in make_report.SECTIONS:
+            text = section()
+            assert isinstance(text, str)
+
+    def test_load_missing_returns_none(self):
+        assert make_report.load("definitely_not_a_real_output") is None

@@ -1,0 +1,167 @@
+"""Dataset specs, synthetic generation, array datasets and loaders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    DataLoader,
+    available_datasets,
+    generate_dataset,
+    get_spec,
+    make_prototypes,
+)
+from repro.utils.rng import RngStream
+
+
+class TestSpecs:
+    def test_paper_table2_values(self):
+        """Table II: totals, classes, channels, client samples."""
+        mnist = get_spec("mnist")
+        assert (mnist.train_size, mnist.num_classes, mnist.channels, mnist.client_samples) == (
+            60_000, 10, 1, 600,
+        )
+        fmnist = get_spec("fmnist")
+        assert (fmnist.train_size, fmnist.client_samples) == (60_000, 1_000)
+        emnist = get_spec("emnist")
+        assert (emnist.num_classes, emnist.client_samples) == (47, 3_000)
+        cifar = get_spec("cifar10")
+        assert (cifar.train_size, cifar.channels, cifar.client_samples) == (50_000, 3, 2_000)
+
+    def test_table2_row(self):
+        row = get_spec("mnist").table2_row()
+        assert row["dataset"] == "mnist" and row["classes"] == 10
+
+    def test_unknown_spec(self):
+        with pytest.raises(KeyError):
+            get_spec("imagenet")
+
+    def test_mini_variants_exist(self):
+        names = available_datasets()
+        for mini in ("mini_mnist", "mini_fmnist", "mini_emnist", "mini_cifar10"):
+            assert mini in names
+
+    def test_input_shape(self):
+        assert get_spec("cifar10").input_shape == (3, 32, 32)
+        assert get_spec("mnist").flat_dim == 784
+
+
+class TestSyntheticGeneration:
+    def test_shapes_and_dtypes(self):
+        data = generate_dataset("tiny", seed=0)
+        spec = data.spec
+        assert data.x_train.shape == (spec.train_size, *spec.input_shape)
+        assert data.x_train.dtype == np.float32
+        assert data.y_train.dtype == np.int64
+        assert data.prototypes.shape == (spec.num_classes, *spec.input_shape)
+
+    def test_deterministic(self):
+        a = generate_dataset("tiny", seed=3)
+        b = generate_dataset("tiny", seed=3)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+        np.testing.assert_array_equal(a.y_test, b.y_test)
+
+    def test_seeds_differ(self):
+        a = generate_dataset("tiny", seed=1)
+        b = generate_dataset("tiny", seed=2)
+        assert not np.array_equal(a.x_train, b.x_train)
+
+    def test_label_balance(self):
+        data = generate_dataset("tiny", seed=0)
+        counts = np.bincount(data.y_train, minlength=data.num_classes)
+        assert counts.min() >= (len(data.y_train) // data.num_classes) - 1
+
+    def test_standardized(self):
+        data = generate_dataset("tiny", seed=0)
+        assert abs(float(data.x_train.mean())) < 0.05
+        assert abs(float(data.x_train.std()) - 1.0) < 0.05
+
+    def test_size_override(self):
+        data = generate_dataset("mnist", seed=0, train_size=200, test_size=50)
+        assert data.x_train.shape[0] == 200
+        assert data.x_test.shape[0] == 50
+
+    def test_classes_are_separable(self):
+        """A nearest-prototype classifier should beat chance by a wide
+        margin — otherwise no FL model could learn the task."""
+        data = generate_dataset("tiny", seed=0)
+        protos = data.prototypes.reshape(data.num_classes, -1)
+        # Undo standardization effect by re-standardizing prototypes too.
+        x = data.x_test.reshape(len(data.y_test), -1)
+        protos_std = (protos - protos.mean()) / protos.std()
+        x_n = x / np.linalg.norm(x, axis=1, keepdims=True)
+        p_n = protos_std / np.linalg.norm(protos_std, axis=1, keepdims=True)
+        pred = np.argmax(x_n @ p_n.T, axis=1)
+        acc = float((pred == data.y_test).mean())
+        assert acc > 2.0 / data.num_classes, f"separability too low: {acc:.3f}"
+
+    def test_prototypes_unit_rms(self):
+        spec = get_spec("tiny")
+        protos = make_prototypes(spec, RngStream(0).child("p").generator)
+        rms = np.sqrt((protos**2).mean(axis=(1, 2, 3)))
+        np.testing.assert_allclose(rms, 1.0, atol=1e-5)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            generate_dataset("tiny", train_size=0)
+
+
+class TestArrayDataset:
+    def test_len_and_subset(self, rng):
+        ds = ArrayDataset(rng.standard_normal((10, 2)), np.arange(10))
+        sub = ds.subset([1, 3, 5])
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.y, [1, 3, 5])
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(rng.standard_normal((5, 2)), np.arange(4))
+
+    def test_subset_out_of_range(self, rng):
+        ds = ArrayDataset(rng.standard_normal((5, 2)), np.arange(5))
+        with pytest.raises(IndexError):
+            ds.subset([7])
+
+    def test_class_counts(self):
+        ds = ArrayDataset(np.zeros((6, 1)), np.array([0, 0, 1, 2, 2, 2]))
+        np.testing.assert_array_equal(ds.class_counts(4), [2, 1, 3, 0])
+
+
+class TestDataLoader:
+    def test_covers_all_samples(self, rng):
+        ds = ArrayDataset(np.arange(23, dtype=np.float32)[:, None], np.arange(23))
+        loader = DataLoader(ds, batch_size=5, rng=rng)
+        seen = np.concatenate([yb for _, yb in loader])
+        assert sorted(seen.tolist()) == list(range(23))
+
+    def test_drop_last(self, rng):
+        ds = ArrayDataset(np.zeros((23, 1), dtype=np.float32), np.arange(23))
+        loader = DataLoader(ds, batch_size=5, rng=rng, drop_last=True)
+        batches = list(loader)
+        assert len(batches) == 4
+        assert all(xb.shape[0] == 5 for xb, _ in batches)
+
+    def test_len(self, rng):
+        ds = ArrayDataset(np.zeros((23, 1), dtype=np.float32), np.arange(23))
+        assert len(DataLoader(ds, 5, rng=rng)) == 5
+        assert len(DataLoader(ds, 5, rng=rng, drop_last=True)) == 4
+
+    def test_deterministic_given_rng(self):
+        ds = ArrayDataset(np.zeros((10, 1), dtype=np.float32), np.arange(10))
+        l1 = DataLoader(ds, 4, rng=np.random.default_rng(0))
+        l2 = DataLoader(ds, 4, rng=np.random.default_rng(0))
+        for (_, y1), (_, y2) in zip(l1, l2):
+            np.testing.assert_array_equal(y1, y2)
+
+    def test_no_shuffle_keeps_order(self, rng):
+        ds = ArrayDataset(np.zeros((6, 1), dtype=np.float32), np.arange(6))
+        loader = DataLoader(ds, 3, rng=rng, shuffle=False)
+        ys = np.concatenate([yb for _, yb in loader])
+        np.testing.assert_array_equal(ys, np.arange(6))
+
+    def test_empty_dataset_rejected(self):
+        ds = ArrayDataset(np.zeros((0, 1), dtype=np.float32), np.zeros(0, dtype=int))
+        with pytest.raises(ValueError):
+            DataLoader(ds, 4)

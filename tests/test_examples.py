@@ -1,0 +1,65 @@
+"""Smoke tests: every example script runs end-to-end (with tiny budgets)."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def _run(script: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_compare_algorithms(self):
+        out = _run("compare_algorithms.py", "--rounds", "3", "--model", "mlp")
+        assert "rounds to" in out
+        assert "fedtrip" in out
+
+    def test_heterogeneity_study(self):
+        out = _run("heterogeneity_study.py", "--rounds", "3")
+        assert "Orthogonal-10" in out
+        assert "final accuracy under each heterogeneity type" in out
+
+    def test_mu_sensitivity(self):
+        out = _run("mu_sensitivity.py", "--rounds", "3", "--mus", "0.4", "1.5")
+        assert "best acc" in out
+
+    def test_scalability_study(self):
+        out = _run("scalability_study.py", "--rounds", "3")
+        assert "4-of-50" in out
+        assert "E[xi]" in out
+
+    def test_resource_study(self):
+        out = _run("resource_study.py", "--rounds", "3")
+        assert "simulated time" in out
+        assert "int8 quantized" in out
+
+    def test_hyperparameter_sweep(self, tmp_path):
+        out = _run("hyperparameter_sweep.py", "--rounds", "2",
+                   "--store", str(tmp_path / "runs"))
+        assert "best acc" in out
+        assert "rounds to 80%" in out
+
+    def test_centralized_gap(self):
+        out = _run("centralized_gap.py", "--rounds", "3")
+        assert "centralized ceiling" in out
+        assert "fedtrip final" in out
+
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "best accuracy" in out
+        assert "total communication" in out

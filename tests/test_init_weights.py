@@ -1,0 +1,62 @@
+"""Weight initializers (repro.nn.init)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import init as nn_init
+
+
+class TestFanInOut:
+    def test_dense_shape(self):
+        assert nn_init.fan_in_out((10, 20)) == (10, 20)
+
+    def test_conv_shape(self):
+        # (out_c, in_c, kh, kw) -> fan_in = in_c*kh*kw, fan_out = out_c*kh*kw
+        assert nn_init.fan_in_out((8, 3, 5, 5)) == (3 * 25, 8 * 25)
+
+    def test_unsupported_shape(self):
+        with pytest.raises(ValueError):
+            nn_init.fan_in_out((3,))
+
+
+class TestKaiming:
+    def test_bound_respected(self, rng):
+        w = nn_init.kaiming_uniform(rng, (100, 50))
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / 100)
+        assert np.abs(w).max() <= bound + 1e-6
+        assert w.dtype == np.float32
+
+    def test_variance_scales_with_fan_in(self, rng):
+        small_fan = nn_init.kaiming_uniform(rng, (10, 2000))
+        large_fan = nn_init.kaiming_uniform(rng, (1000, 2000))
+        assert small_fan.std() > large_fan.std()
+
+    def test_deterministic_given_rng(self):
+        a = nn_init.kaiming_uniform(np.random.default_rng(5), (6, 6))
+        b = nn_init.kaiming_uniform(np.random.default_rng(5), (6, 6))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestXavier:
+    def test_bound_respected(self, rng):
+        w = nn_init.xavier_uniform(rng, (30, 70))
+        bound = np.sqrt(6.0 / 100)
+        assert np.abs(w).max() <= bound + 1e-6
+
+    def test_conv_shape_supported(self, rng):
+        w = nn_init.xavier_uniform(rng, (4, 3, 3, 3))
+        assert w.shape == (4, 3, 3, 3)
+
+    def test_roughly_zero_mean(self, rng):
+        w = nn_init.xavier_uniform(rng, (200, 200))
+        assert abs(float(w.mean())) < 0.005
+
+
+class TestZeros:
+    def test_zeros(self):
+        z = nn_init.zeros((3, 4))
+        assert z.shape == (3, 4)
+        assert (z == 0).all()
+        assert z.dtype == np.float32

@@ -1,0 +1,101 @@
+"""Coverage for small public APIs not exercised elsewhere."""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.fl import DeviceProfile, SystemModel
+from repro.fl.types import ClientUpdate
+from repro.utils.logging import get_logger, set_verbosity
+
+
+class TestStragglerAccounting:
+    def _upd(self, cid, flops=1e9, comm=1e6):
+        return ClientUpdate(cid, [np.zeros(2, dtype=np.float32)], 10, 0.0,
+                            flops=flops, comm_bytes=comm)
+
+    def test_straggler_counts(self):
+        model = SystemModel("wifi", n_clients=3)
+        model.profiles[1] = DeviceProfile(flops_per_second=1e5, bandwidth_bps=50e6)
+        for _ in range(4):
+            model.observe([self._upd(0), self._upd(1)], None)
+        counts = model.straggler_counts()
+        assert counts == {1: 4}
+
+    def test_round_time_decomposition(self):
+        model = SystemModel("4g", n_clients=2, heterogeneity=1.0)
+        model.observe([self._upd(0)], None)
+        rt = model.round_times[0]
+        assert rt.total_s == pytest.approx(rt.compute_s + rt.comm_s)
+        assert rt.round_idx == 0
+
+    def test_cumulative_seconds_monotone(self):
+        model = SystemModel("wifi", n_clients=2, heterogeneity=1.0)
+        for _ in range(5):
+            model.observe([self._upd(0)], None)
+        cum = model.cumulative_seconds()
+        assert (np.diff(cum) > 0).all()
+
+    def test_time_to_accuracy_none_when_missed(self):
+        from repro.fl.history import History
+        from repro.fl.types import RoundRecord
+
+        model = SystemModel("wifi", n_clients=1, heterogeneity=1.0)
+        model.observe([self._upd(0)], None)
+        hist = History()
+        hist.append(RoundRecord(0, [0], 10.0, 1.0, 1.0, 1.0, 1.0, 0.1))
+        assert model.time_to_accuracy(hist, 99.0) is None
+
+
+class TestLoggingFacade:
+    def test_logger_namespacing(self):
+        assert get_logger("fl").name == "repro.fl"
+        assert get_logger().name == "repro"
+
+    def test_set_verbosity_idempotent(self):
+        set_verbosity(logging.INFO)
+        set_verbosity(logging.DEBUG)
+        root = logging.getLogger("repro")
+        stream_handlers = [h for h in root.handlers
+                           if isinstance(h, logging.StreamHandler)]
+        assert len(stream_handlers) == 1
+        assert root.level == logging.DEBUG
+
+
+class TestHistorySerialization:
+    def test_to_dict_structure(self):
+        from repro.fl.history import History
+        from repro.fl.types import RoundRecord
+
+        h = History()
+        h.append(RoundRecord(0, [1, 2], 50.0, 0.5, 1.0, 1e9, 1e6, 0.2))
+        d = h.to_dict()
+        assert list(d) == ["records"]
+        rec = d["records"][0]
+        assert rec["round"] == 0 and rec["selected"] == [1, 2]
+
+    def test_empty_history_totals(self):
+        from repro.fl.history import History
+
+        h = History()
+        assert h.total_gflops() == 0.0
+        assert h.total_comm_mb() == 0.0
+        assert np.isnan(h.best_accuracy())
+
+
+class TestRoundRecordDict:
+    def test_round_trip_keys(self):
+        from repro.fl.types import RoundRecord
+
+        rec = RoundRecord(3, [0], 88.5, 0.3, 0.9, 5e9, 2e6, 1.5)
+        d = rec.to_dict()
+        assert d["round"] == 3
+        assert d["test_accuracy"] == 88.5
+        assert set(d) == {
+            "round", "selected", "test_accuracy", "test_loss",
+            "mean_train_loss", "cumulative_flops", "cumulative_comm_bytes",
+            "wall_seconds",
+        }

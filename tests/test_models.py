@@ -1,0 +1,125 @@
+"""Model zoo: architectures, adaptivity, profiling (Table III)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    available_models,
+    build_alexnet,
+    build_cnn,
+    build_mlp,
+    build_model,
+    profile_model,
+)
+
+
+class TestBuilders:
+    def test_mlp_paper_shape(self, rng):
+        """Paper MLP: 2 FC layers with 100 and 10 neurons on 28x28 inputs."""
+        m = build_mlp((1, 28, 28), 10, rng=rng)
+        assert m.feature_dim == 100
+        assert m.num_classes == 10
+        # 784*100+100 + 100*10+10 = 79510  (paper rounds to 0.08M... 0.8M in
+        # the table counts differently; we assert our own exact count)
+        assert m.num_parameters() == 784 * 100 + 100 + 100 * 10 + 10
+
+    def test_cnn_paper_geometry(self, rng):
+        m = build_cnn((1, 28, 28), 10, rng=rng)
+        out = m(rng.standard_normal((2, 1, 28, 28)).astype(np.float32))
+        assert out.shape == (2, 10)
+        conv_count = sum(1 for _, mod in m.modules() if type(mod).__name__ == "Conv2d")
+        assert conv_count == 3
+        assert m.feature_dim == 84
+
+    def test_alexnet_five_convs(self, rng):
+        m = build_alexnet((3, 32, 32), 10, rng=rng)
+        conv_count = sum(1 for _, mod in m.modules() if type(mod).__name__ == "Conv2d")
+        linear_count = sum(1 for _, mod in m.modules() if type(mod).__name__ == "Linear")
+        assert conv_count == 5
+        assert linear_count == 3
+        out = m(rng.standard_normal((2, 3, 32, 32)).astype(np.float32))
+        assert out.shape == (2, 10)
+
+    @pytest.mark.parametrize("size", [8, 12, 16, 28])
+    def test_cnn_adapts_to_small_inputs(self, rng, size):
+        m = build_cnn((1, size, size), 10, rng=rng)
+        out = m(rng.standard_normal((2, 1, size, size)).astype(np.float32))
+        assert out.shape == (2, 10)
+
+    @pytest.mark.parametrize("size", [8, 16, 32])
+    def test_alexnet_adapts(self, rng, size):
+        m = build_alexnet((3, size, size), 10, rng=rng)
+        out = m(rng.standard_normal((2, 3, size, size)).astype(np.float32))
+        assert out.shape == (2, 10)
+
+    def test_non_square_rejected(self, rng):
+        with pytest.raises(ValueError):
+            build_cnn((1, 28, 14), 10, rng=rng)
+
+    def test_deterministic_init(self):
+        m1 = build_cnn((1, 12, 12), 10, rng=np.random.default_rng(42))
+        m2 = build_cnn((1, 12, 12), 10, rng=np.random.default_rng(42))
+        for a, b in zip(m1.get_weights(), m2.get_weights()):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_models()) == {"alexnet", "cnn", "mlp"}
+
+    def test_build_by_name(self, rng):
+        m = build_model("MLP", (1, 8, 8), 4, rng=rng)
+        assert m.name == "mlp"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            build_model("resnet", (3, 32, 32), 10)
+
+
+class TestFedModel:
+    def test_predict_restores_mode(self, rng):
+        m = build_mlp((1, 4, 4), 3, rng=rng)
+        m.train()
+        m.predict(rng.standard_normal((2, 1, 4, 4)).astype(np.float32))
+        assert m.training
+
+    def test_forward_with_features_consistent(self, rng):
+        m = build_mlp((1, 4, 4), 3, rng=rng)
+        x = rng.standard_normal((2, 1, 4, 4)).astype(np.float32)
+        logits, z = m.forward_with_features(x)
+        np.testing.assert_allclose(logits, m.head(z), atol=1e-6)
+
+    def test_output_shape(self, rng):
+        m = build_cnn((1, 12, 12), 7, rng=rng)
+        assert m.output_shape((1, 12, 12)) == (7,)
+
+
+class TestProfile:
+    def test_comm_bytes_matches_params(self, rng):
+        m = build_mlp((1, 28, 28), 10, rng=rng)
+        prof = profile_model(m)
+        assert prof.comm_bytes == 4 * m.num_parameters()
+        assert prof.backward_flops == 2 * prof.forward_flops
+
+    def test_table3_ordering(self, rng):
+        """Table III: AlexNet >> CNN, MLP in both params and FLOPs;
+        the paper's CNN has fewer params but more FLOPs than its MLP."""
+        mlp = profile_model(build_mlp((1, 28, 28), 10, rng=rng))
+        cnn = profile_model(build_cnn((1, 28, 28), 10, rng=rng))
+        alex = profile_model(build_alexnet((3, 32, 32), 10, rng=rng))
+        assert alex.num_params > mlp.num_params
+        assert alex.forward_flops > cnn.forward_flops > mlp.forward_flops
+        assert cnn.num_params < mlp.num_params  # conv sharing beats dense
+
+    def test_table3_row_keys(self, rng):
+        row = profile_model(build_mlp((1, 28, 28), 10, rng=rng)).table3_row()
+        assert set(row) == {"model", "communication_mb", "params_m", "mflops"}
+
+    def test_flops_match_runtime_shapes(self, rng):
+        """Analytic per-layer FLOPs use the same shapes the forward produces."""
+        m = build_cnn((1, 12, 12), 10, rng=rng)
+        assert m.forward_flops((1, 12, 12)) > 0
+        out = m(rng.standard_normal((1, 1, 12, 12)).astype(np.float32))
+        assert out.shape == (1, 10)

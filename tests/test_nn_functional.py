@@ -1,0 +1,125 @@
+"""Tests for repro.nn.functional kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.standard_normal((6, 5))
+        s = F.softmax(x, axis=1)
+        np.testing.assert_allclose(s.sum(axis=1), 1.0, atol=1e-6)
+        assert (s > 0).all()
+
+    def test_shift_invariance(self, rng):
+        x = rng.standard_normal((4, 7))
+        np.testing.assert_allclose(F.softmax(x), F.softmax(x + 100.0), atol=1e-6)
+
+    def test_extreme_values_stable(self):
+        x = np.array([[1e4, -1e4, 0.0]])
+        s = F.softmax(x)
+        assert np.isfinite(s).all()
+        np.testing.assert_allclose(s[0, 0], 1.0, atol=1e-6)
+
+    def test_log_softmax_consistent(self, rng):
+        x = rng.standard_normal((5, 6))
+        np.testing.assert_allclose(F.log_softmax(x), np.log(F.softmax(x)), atol=1e-6)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = F.one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(out, np.eye(3)[[0, 2, 1]])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([-1]), 3)
+
+    def test_wrong_ndim_raises(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestCosineSimilarity:
+    def test_self_similarity_is_one(self, rng):
+        a = rng.standard_normal((5, 8))
+        np.testing.assert_allclose(F.cosine_similarity(a, a), 1.0, atol=1e-6)
+
+    def test_orthogonal(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[0.0, 1.0]])
+        np.testing.assert_allclose(F.cosine_similarity(a, b), 0.0, atol=1e-9)
+
+    def test_antiparallel(self):
+        a = np.array([[1.0, 2.0]])
+        np.testing.assert_allclose(F.cosine_similarity(a, -a), -1.0, atol=1e-6)
+
+    def test_zero_vector_safe(self):
+        a = np.zeros((1, 3))
+        b = np.ones((1, 3))
+        out = F.cosine_similarity(a, b)
+        assert np.isfinite(out).all()
+
+
+class TestConvOutputSize:
+    @pytest.mark.parametrize(
+        "size,k,s,p,expected",
+        [(28, 5, 1, 2, 28), (28, 5, 1, 0, 24), (8, 2, 2, 0, 4), (7, 3, 2, 1, 4)],
+    )
+    def test_known_values(self, size, k, s, p, expected):
+        assert F.conv_output_size(size, k, s, p) == expected
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            F.conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2Col:
+    def _naive_conv(self, x, w, b, stride, pad):
+        n, c, h, wd = x.shape
+        f, _, kh, kw = w.shape
+        oh = F.conv_output_size(h, kh, stride, pad)
+        ow = F.conv_output_size(wd, kw, stride, pad)
+        xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        out = np.zeros((n, f, oh, ow), dtype=np.float64)
+        for ni in range(n):
+            for fi in range(f):
+                for i in range(oh):
+                    for j in range(ow):
+                        patch = xp[ni, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+                        out[ni, fi, i, j] = np.sum(patch * w[fi]) + b[fi]
+        return out
+
+    @pytest.mark.parametrize("stride,pad", [(1, 0), (1, 2), (2, 1)])
+    def test_gemm_conv_matches_naive(self, rng, stride, pad):
+        from repro.nn import Conv2d
+
+        x = rng.standard_normal((2, 3, 7, 7)).astype(np.float32)
+        conv = Conv2d(3, 4, kernel_size=3, stride=stride, padding=pad, rng=rng)
+        got = conv(x)
+        want = self._naive_conv(x, conv.weight.data, conv.bias.data, stride, pad)
+        np.testing.assert_allclose(got, want, atol=1e-4)
+
+    def test_col2im_inverts_scatter(self, rng):
+        """col2im(im2col-expansion of ones) counts window coverage."""
+        x_shape = (1, 1, 5, 5)
+        cols, (oh, ow) = F.im2col(np.ones(x_shape, dtype=np.float32), 3, 3, 1, 0)
+        back = F.col2im(np.ones_like(cols), x_shape, 3, 3, 1, 0)
+        # Centre pixel is covered by 9 windows, corners by 1.
+        assert back[0, 0, 2, 2] == 9
+        assert back[0, 0, 0, 0] == 1
+        assert back[0, 0, 0, 2] == 3
+
+    def test_im2col_shape(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        cols, (oh, ow) = F.im2col(x, 3, 3, 1, 1)
+        assert (oh, ow) == (8, 8)
+        assert cols.shape == (2 * 64, 3 * 9)

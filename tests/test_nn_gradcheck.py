@@ -1,0 +1,176 @@
+"""Numerical gradient verification for every differentiable layer and loss.
+
+These tests are the foundation of trust in the whole reproduction: every FL
+algorithm ultimately consumes the gradients produced here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from tests.conftest import check_layer_gradients, numeric_grad_scalar
+
+
+def _x(rng, *shape):
+    return rng.standard_normal(shape).astype(np.float32)
+
+
+class TestLayerGradients:
+    def test_linear(self, rng):
+        layer = nn.Linear(7, 5, rng=rng)
+        check_layer_gradients(layer, _x(rng, 4, 7))
+
+    def test_linear_no_bias(self, rng):
+        layer = nn.Linear(6, 3, bias=False, rng=rng)
+        check_layer_gradients(layer, _x(rng, 5, 6))
+
+    def test_conv2d_basic(self, rng):
+        layer = nn.Conv2d(2, 3, kernel_size=3, rng=rng)
+        check_layer_gradients(layer, _x(rng, 2, 2, 6, 6))
+
+    def test_conv2d_padded(self, rng):
+        layer = nn.Conv2d(1, 4, kernel_size=5, padding=2, rng=rng)
+        check_layer_gradients(layer, _x(rng, 2, 1, 8, 8))
+
+    def test_conv2d_strided(self, rng):
+        layer = nn.Conv2d(3, 2, kernel_size=3, stride=2, padding=1, rng=rng)
+        check_layer_gradients(layer, _x(rng, 2, 3, 7, 7))
+
+    def test_maxpool(self, rng):
+        layer = nn.MaxPool2d(2)
+        # Scale up so distinct maxima are well separated (avoids ties that
+        # make the numerical derivative ill-defined at kink points).
+        x = (_x(rng, 2, 3, 6, 6) * 3).astype(np.float32)
+        check_layer_gradients(layer, x)
+
+    def test_maxpool_overlapping(self, rng):
+        layer = nn.MaxPool2d(3, stride=2)
+        x = (_x(rng, 2, 2, 7, 7) * 3).astype(np.float32)
+        check_layer_gradients(layer, x)
+
+    def test_avgpool(self, rng):
+        layer = nn.AvgPool2d(2)
+        check_layer_gradients(layer, _x(rng, 2, 3, 6, 6))
+
+    def test_relu(self, rng):
+        x = _x(rng, 4, 9) * 3  # keep entries away from the kink at 0
+        x[np.abs(x) < 0.2] += 0.5
+        check_layer_gradients(nn.ReLU(), x)
+
+    def test_leaky_relu(self, rng):
+        x = _x(rng, 4, 9) * 3
+        x[np.abs(x) < 0.2] += 0.5
+        check_layer_gradients(nn.LeakyReLU(0.1), x)
+
+    def test_tanh(self, rng):
+        check_layer_gradients(nn.Tanh(), _x(rng, 4, 6))
+
+    def test_sigmoid(self, rng):
+        check_layer_gradients(nn.Sigmoid(), _x(rng, 4, 6))
+
+    def test_flatten(self, rng):
+        check_layer_gradients(nn.Flatten(), _x(rng, 3, 2, 4, 4))
+
+    def test_batchnorm1d(self, rng):
+        layer = nn.BatchNorm1d(6)
+        check_layer_gradients(layer, _x(rng, 16, 6))
+
+    def test_batchnorm2d(self, rng):
+        layer = nn.BatchNorm2d(3)
+        check_layer_gradients(layer, _x(rng, 8, 3, 5, 5))
+
+    def test_sequential_mlp(self, rng):
+        seq = nn.Sequential(
+            nn.Flatten(),
+            nn.Linear(16, 8, rng=rng),
+            nn.Tanh(),
+            nn.Linear(8, 3, rng=rng),
+        )
+        check_layer_gradients(seq, _x(rng, 4, 1, 4, 4))
+
+    def test_sequential_cnn(self, rng):
+        seq = nn.Sequential(
+            nn.Conv2d(1, 2, 3, padding=1, rng=rng),
+            nn.Tanh(),
+            nn.MaxPool2d(2),
+            nn.Flatten(),
+            nn.Linear(2 * 3 * 3, 4, rng=rng),
+        )
+        check_layer_gradients(seq, _x(rng, 2, 1, 6, 6))
+
+
+class TestLossGradients:
+    def _check_loss_grad(self, loss_fn, x, *args, atol=2e-2, rtol=8e-2, seed=0):
+        _, grad = loss_fn(x, *args)
+
+        def scalar():
+            val, _ = loss_fn(x, *args)
+            return float(val)
+
+        idx, num = numeric_grad_scalar(scalar, x, seed=seed)
+        ana = grad.reshape(-1)[idx].astype(np.float64)
+        denom = np.maximum(np.abs(num), np.abs(ana))
+        err = np.abs(num - ana)
+        assert ((err <= atol) | (err <= rtol * denom)).all(), f"worst err {err.max()}"
+
+    def test_cross_entropy(self, rng):
+        logits = _x(rng, 8, 5)
+        labels = rng.integers(0, 5, size=8)
+        self._check_loss_grad(nn.CrossEntropyLoss(), logits, labels)
+
+    def test_mse(self, rng):
+        pred = _x(rng, 6, 4)
+        target = _x(rng, 6, 4)
+        self._check_loss_grad(nn.MSELoss(), pred, target)
+
+    def test_kl_div(self, rng):
+        student = _x(rng, 6, 5)
+        teacher = _x(rng, 6, 5)
+        self._check_loss_grad(nn.KLDivLoss(temperature=2.0), student, teacher)
+
+    def test_model_contrastive(self, rng):
+        z = _x(rng, 6, 8)
+        zg = _x(rng, 6, 8)
+        zp = _x(rng, 6, 8)
+        self._check_loss_grad(nn.ModelContrastiveLoss(0.5), z, zg, zp)
+
+    def test_triplet_sample(self, rng):
+        a = _x(rng, 6, 5) * 2
+        p = _x(rng, 6, 5) * 2
+        n = _x(rng, 6, 5) * 2
+        loss = nn.TripletSampleLoss(margin=1.0)
+        self._check_loss_grad(loss, a, p, n)
+
+
+class TestFedModelGradients:
+    def test_dfeatures_injection(self, rng):
+        """backward(dlogits, dfeatures) must equal the sum of both paths."""
+        from repro.models import build_mlp
+
+        model = build_mlp((1, 4, 4), 3, hidden=6, rng=rng)
+        x = _x(rng, 5, 1, 4, 4)
+        logits, z = model.forward_with_features(x)
+        dlogits = _x(rng, *logits.shape)
+        dz_extra = _x(rng, *z.shape)
+
+        model.zero_grad()
+        model.forward_with_features(x)
+        model.backward(dlogits, dfeatures=dz_extra)
+        combined = [p.grad.copy() for p in model.parameters()]
+
+        # Path 1: logits only.
+        model.zero_grad()
+        model.forward_with_features(x)
+        model.backward(dlogits)
+        only_logits = [p.grad.copy() for p in model.parameters()]
+
+        # Path 2: features only (zero dlogits).
+        model.zero_grad()
+        model.forward_with_features(x)
+        model.backward(np.zeros_like(dlogits), dfeatures=dz_extra)
+        only_feats = [p.grad.copy() for p in model.parameters()]
+
+        for c, a, b in zip(combined, only_logits, only_feats):
+            np.testing.assert_allclose(c, a + b, atol=1e-4)

@@ -1,0 +1,225 @@
+"""Shape, mode and bookkeeping behaviour of individual layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = nn.Linear(8, 3, rng=rng)
+        out = layer(rng.standard_normal((5, 8)).astype(np.float32))
+        assert out.shape == (5, 3)
+        assert layer.output_shape((8,)) == (3,)
+
+    def test_wrong_input_raises(self, rng):
+        layer = nn.Linear(8, 3, rng=rng)
+        with pytest.raises(ValueError):
+            layer(rng.standard_normal((5, 7)).astype(np.float32))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 3)
+
+    def test_backward_without_forward_raises(self, rng):
+        layer = nn.Linear(4, 2, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((2, 2), dtype=np.float32))
+
+    def test_eval_mode_does_not_cache(self, rng):
+        layer = nn.Linear(4, 2, rng=rng)
+        layer.eval()
+        layer(rng.standard_normal((3, 4)).astype(np.float32))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((3, 2), dtype=np.float32))
+
+    def test_flops(self, rng):
+        layer = nn.Linear(10, 5, rng=rng)
+        assert layer.forward_flops((10,)) == 2 * 10 * 5 + 5
+
+    def test_grad_accumulates(self, rng):
+        layer = nn.Linear(4, 2, rng=rng)
+        x = rng.standard_normal((3, 4)).astype(np.float32)
+        d = np.ones((3, 2), dtype=np.float32)
+        layer(x)
+        layer.backward(d)
+        g1 = layer.weight.grad.copy()
+        layer(x)
+        layer.backward(d)
+        np.testing.assert_allclose(layer.weight.grad, 2 * g1, rtol=1e-5)
+
+
+class TestConv2d:
+    def test_output_shape(self, rng):
+        conv = nn.Conv2d(3, 8, 5, padding=2, rng=rng)
+        out = conv(rng.standard_normal((2, 3, 12, 12)).astype(np.float32))
+        assert out.shape == (2, 8, 12, 12)
+        assert conv.output_shape((3, 12, 12)) == (8, 12, 12)
+
+    def test_channel_mismatch_raises(self, rng):
+        conv = nn.Conv2d(3, 8, 3, rng=rng)
+        with pytest.raises(ValueError):
+            conv(rng.standard_normal((2, 1, 8, 8)).astype(np.float32))
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(1, 1, 0)
+        with pytest.raises(ValueError):
+            nn.Conv2d(1, 1, 3, stride=0)
+
+    def test_flops_positive_and_scales(self, rng):
+        small = nn.Conv2d(1, 2, 3, rng=rng).forward_flops((1, 8, 8))
+        big = nn.Conv2d(1, 4, 3, rng=rng).forward_flops((1, 8, 8))
+        assert big == 2 * small
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = nn.MaxPool2d(2)(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_avgpool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = nn.AvgPool2d(2)(x)
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_maxpool_backward_routes_to_argmax(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        pool = nn.MaxPool2d(2)
+        pool(x)
+        dx = pool.backward(np.ones((1, 1, 2, 2), dtype=np.float32))
+        expected = np.zeros((4, 4))
+        for (i, j) in [(1, 1), (1, 3), (3, 1), (3, 3)]:
+            expected[i, j] = 1.0
+        np.testing.assert_array_equal(dx[0, 0], expected)
+
+    def test_avgpool_backward_spreads(self):
+        x = np.ones((1, 1, 4, 4), dtype=np.float32)
+        pool = nn.AvgPool2d(2)
+        pool(x)
+        dx = pool.backward(np.ones((1, 1, 2, 2), dtype=np.float32))
+        np.testing.assert_allclose(dx, 0.25)
+
+    def test_output_shapes(self):
+        assert nn.MaxPool2d(2).output_shape((3, 8, 8)) == (3, 4, 4)
+        assert nn.AvgPool2d(3, stride=2).output_shape((1, 7, 7)) == (1, 3, 3)
+
+
+class TestActivations:
+    def test_relu_clips(self):
+        x = np.array([[-1.0, 0.5]], dtype=np.float32)
+        np.testing.assert_array_equal(nn.ReLU()(x), [[0.0, 0.5]])
+
+    def test_leaky_relu_slope(self):
+        x = np.array([[-2.0, 2.0]], dtype=np.float32)
+        np.testing.assert_allclose(nn.LeakyReLU(0.1)(x), [[-0.2, 2.0]])
+
+    def test_tanh_range(self, rng):
+        out = nn.Tanh()(rng.standard_normal((3, 4)).astype(np.float32) * 10)
+        assert (np.abs(out) <= 1).all()
+
+    def test_sigmoid_range(self, rng):
+        out = nn.Sigmoid()(rng.standard_normal((3, 4)).astype(np.float32) * 10)
+        assert ((out > 0) & (out < 1)).all()
+
+
+class TestDropout:
+    def test_eval_is_identity(self, rng):
+        x = rng.standard_normal((4, 5)).astype(np.float32)
+        drop = nn.Dropout(0.5, rng=rng)
+        drop.eval()
+        np.testing.assert_array_equal(drop(x), x)
+
+    def test_train_scales_survivors(self, rng):
+        x = np.ones((2000, 10), dtype=np.float32)
+        drop = nn.Dropout(0.5, rng=rng)
+        out = drop(x)
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)
+        # Keep rate should be near 0.5.
+        assert abs((out != 0).mean() - 0.5) < 0.05
+
+    def test_p_zero_identity_in_train(self, rng):
+        x = rng.standard_normal((4, 5)).astype(np.float32)
+        np.testing.assert_array_equal(nn.Dropout(0.0)(x), x)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+    def test_backward_uses_same_mask(self, rng):
+        drop = nn.Dropout(0.5, rng=rng)
+        x = np.ones((6, 6), dtype=np.float32)
+        out = drop(x)
+        dx = drop.backward(np.ones_like(x))
+        np.testing.assert_array_equal(dx != 0, out != 0)
+
+
+class TestBatchNorm:
+    def test_normalizes_batch(self, rng):
+        bn = nn.BatchNorm1d(5)
+        x = (rng.standard_normal((64, 5)) * 3 + 7).astype(np.float32)
+        out = bn(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_track(self, rng):
+        bn = nn.BatchNorm1d(3)
+        x = (rng.standard_normal((256, 3)) + 5).astype(np.float32)
+        for _ in range(50):
+            bn(x)
+        np.testing.assert_allclose(bn.running_mean, x.mean(axis=0), atol=0.1)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm1d(3)
+        x = rng.standard_normal((64, 3)).astype(np.float32)
+        bn(x)
+        bn.eval()
+        y = rng.standard_normal((4, 3)).astype(np.float32)
+        out = bn(y)
+        expected = (y - bn.running_mean) / np.sqrt(bn.running_var + bn.eps)
+        np.testing.assert_allclose(out, expected, atol=1e-5)
+
+    def test_bn2d_per_channel(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = rng.standard_normal((8, 2, 4, 4)).astype(np.float32)
+        out = bn(x)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-4)
+
+    def test_bn_params_are_trainable(self):
+        bn = nn.BatchNorm1d(4)
+        names = [n for n, _ in bn.named_parameters()]
+        assert set(names) == {"gamma", "beta"}
+
+    def test_wrong_ndim_raises(self, rng):
+        with pytest.raises(ValueError):
+            nn.BatchNorm1d(4)(rng.standard_normal((2, 4, 3)).astype(np.float32))
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(4)(rng.standard_normal((2, 4)).astype(np.float32))
+
+
+class TestSequential:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            nn.Sequential()
+
+    def test_indexing_and_len(self, rng):
+        seq = nn.Sequential(nn.Linear(4, 3, rng=rng), nn.ReLU())
+        assert len(seq) == 2
+        assert isinstance(seq[1], nn.ReLU)
+
+    def test_shape_propagation(self, rng):
+        seq = nn.Sequential(
+            nn.Conv2d(1, 2, 3, padding=1, rng=rng), nn.MaxPool2d(2), nn.Flatten()
+        )
+        assert seq.output_shape((1, 8, 8)) == (2 * 4 * 4,)
+
+    def test_flops_sum(self, rng):
+        l1 = nn.Linear(4, 8, rng=rng)
+        l2 = nn.Linear(8, 2, rng=rng)
+        seq = nn.Sequential(l1, l2)
+        assert seq.forward_flops((4,)) == l1.forward_flops((4,)) + l2.forward_flops((8,))

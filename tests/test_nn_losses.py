@@ -1,0 +1,107 @@
+"""Loss semantics beyond the numerical gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.functional import one_hot, softmax
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = one_hot(np.array([0, 1, 2]), 3) * 50.0
+        loss, _ = nn.CrossEntropyLoss()(logits, np.array([0, 1, 2]))
+        assert loss < 1e-6
+
+    def test_uniform_logits_log_c(self):
+        logits = np.zeros((5, 4), dtype=np.float32)
+        loss, _ = nn.CrossEntropyLoss()(logits, np.zeros(5, dtype=np.int64))
+        np.testing.assert_allclose(loss, np.log(4), atol=1e-6)
+
+    def test_grad_rows_sum_to_zero(self, rng):
+        logits = rng.standard_normal((6, 5)).astype(np.float32)
+        _, grad = nn.CrossEntropyLoss()(logits, rng.integers(0, 5, 6))
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-6)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            nn.CrossEntropyLoss()(rng.standard_normal((3,)), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            nn.CrossEntropyLoss()(rng.standard_normal((3, 2)), np.zeros(4, dtype=int))
+
+
+class TestMSE:
+    def test_zero_at_equality(self, rng):
+        x = rng.standard_normal((3, 4))
+        loss, grad = nn.MSELoss()(x, x.copy())
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, 0.0)
+
+    def test_known_value(self):
+        loss, _ = nn.MSELoss()(np.ones((2, 2)), np.zeros((2, 2)))
+        assert loss == 1.0
+
+
+class TestKLDiv:
+    def test_zero_when_identical(self, rng):
+        logits = rng.standard_normal((4, 5))
+        loss, grad = nn.KLDivLoss(2.0)(logits, logits.copy())
+        assert abs(loss) < 1e-8
+        np.testing.assert_allclose(grad, 0.0, atol=1e-8)
+
+    def test_nonnegative(self, rng):
+        for _ in range(5):
+            s = rng.standard_normal((4, 5))
+            t = rng.standard_normal((4, 5))
+            loss, _ = nn.KLDivLoss(1.0)(s, t)
+            assert loss >= -1e-9
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            nn.KLDivLoss(0.0)
+
+
+class TestModelContrastive:
+    def test_prefers_global_alignment(self, rng):
+        z_glob = rng.standard_normal((4, 8))
+        z_prev = rng.standard_normal((4, 8))
+        loss_aligned, _ = nn.ModelContrastiveLoss(0.5)(z_glob.copy(), z_glob, z_prev)
+        loss_misaligned, _ = nn.ModelContrastiveLoss(0.5)(z_prev.copy(), z_glob, z_prev)
+        assert loss_aligned < loss_misaligned
+
+    def test_symmetric_inputs_give_log2(self, rng):
+        z = rng.standard_normal((4, 8))
+        ref = rng.standard_normal((4, 8))
+        loss, _ = nn.ModelContrastiveLoss(0.5)(z, ref, ref.copy())
+        np.testing.assert_allclose(loss, np.log(2), atol=1e-6)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            nn.ModelContrastiveLoss()(
+                rng.standard_normal((4, 8)),
+                rng.standard_normal((4, 8)),
+                rng.standard_normal((3, 8)),
+            )
+
+
+class TestTripletSample:
+    def test_satisfied_triplet_zero_loss(self):
+        a = np.zeros((2, 3))
+        p = np.zeros((2, 3))
+        n = np.ones((2, 3)) * 10
+        loss, grad = nn.TripletSampleLoss(1.0)(a, p, n)
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, 0.0)
+
+    def test_violating_triplet_positive_loss(self):
+        a = np.zeros((1, 3))
+        p = np.ones((1, 3))
+        n = np.zeros((1, 3))
+        loss, _ = nn.TripletSampleLoss(1.0)(a, p, n)
+        assert loss > 0
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            nn.TripletSampleLoss(-1.0)

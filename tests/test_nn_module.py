@@ -1,0 +1,109 @@
+"""Module tree traversal, weight I/O, state dicts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import build_mlp
+
+
+@pytest.fixture
+def mlp(rng):
+    return build_mlp((1, 4, 4), 3, hidden=6, rng=rng)
+
+
+class TestTraversal:
+    def test_parameter_order_deterministic(self, rng):
+        m1 = build_mlp((1, 4, 4), 3, hidden=6, rng=np.random.default_rng(1))
+        m2 = build_mlp((1, 4, 4), 3, hidden=6, rng=np.random.default_rng(2))
+        names1 = [n for n, _ in m1.named_parameters()]
+        names2 = [n for n, _ in m2.named_parameters()]
+        assert names1 == names2
+
+    def test_num_parameters(self, mlp):
+        # Flatten->Linear(16,6)+ReLU | Linear(6,3): 16*6+6 + 6*3+3 = 123
+        assert mlp.num_parameters() == 16 * 6 + 6 + 6 * 3 + 3
+
+    def test_modules_walk(self, mlp):
+        kinds = [type(m).__name__ for _, m in mlp.modules()]
+        assert "Linear" in kinds and "Sequential" in kinds and "FedModel" in kinds
+
+    def test_named_parameters_have_paths(self, mlp):
+        names = [n for n, _ in mlp.named_parameters()]
+        assert any(n.startswith("features.") for n in names)
+        assert any(n.startswith("head.") for n in names)
+
+
+class TestWeightIO:
+    def test_get_set_roundtrip(self, mlp, rng):
+        weights = mlp.get_weights()
+        new = [rng.standard_normal(w.shape).astype(np.float32) for w in weights]
+        mlp.set_weights(new)
+        for got, want in zip(mlp.get_weights(), new):
+            np.testing.assert_array_equal(got, want)
+
+    def test_get_weights_is_detached(self, mlp):
+        w = mlp.get_weights()
+        w[0][...] = 999.0
+        assert not np.any(mlp.get_weights()[0] == 999.0)
+
+    def test_set_wrong_count_raises(self, mlp):
+        with pytest.raises(ValueError):
+            mlp.set_weights(mlp.get_weights()[:-1])
+
+    def test_set_wrong_shape_raises(self, mlp):
+        w = mlp.get_weights()
+        w[0] = np.zeros((1, 1), dtype=np.float32)
+        with pytest.raises(ValueError):
+            mlp.set_weights(w)
+
+    def test_state_dict_roundtrip(self, mlp, rng):
+        state = mlp.state_dict()
+        other = build_mlp((1, 4, 4), 3, hidden=6, rng=rng)
+        other.load_state_dict(state)
+        for (n1, p1), (n2, p2) in zip(mlp.named_parameters(), other.named_parameters()):
+            assert n1 == n2
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_load_state_dict_mismatch_raises(self, mlp):
+        state = mlp.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            mlp.load_state_dict(state)
+
+
+class TestModes:
+    def test_train_eval_propagates(self, mlp):
+        mlp.eval()
+        assert all(not m.training for _, m in mlp.modules())
+        mlp.train()
+        assert all(m.training for _, m in mlp.modules())
+
+    def test_zero_grad(self, mlp, rng):
+        x = rng.standard_normal((2, 1, 4, 4)).astype(np.float32)
+        logits = mlp(x)
+        mlp.backward(np.ones_like(logits))
+        assert any(np.abs(p.grad).sum() > 0 for p in mlp.parameters())
+        mlp.zero_grad()
+        assert all(np.abs(p.grad).sum() == 0 for p in mlp.parameters())
+
+
+class TestParameter:
+    def test_copy_preserves_identity(self):
+        p = nn.Parameter(np.zeros((2, 2)))
+        buf = p.data
+        p.copy_(np.ones((2, 2)))
+        assert p.data is buf
+        np.testing.assert_array_equal(p.data, 1.0)
+
+    def test_copy_shape_mismatch_raises(self):
+        p = nn.Parameter(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            p.copy_(np.zeros(3))
+
+    def test_dtype_is_float32(self):
+        p = nn.Parameter(np.zeros((2, 2), dtype=np.float64))
+        assert p.data.dtype == np.float32
+        assert p.grad.dtype == np.float32

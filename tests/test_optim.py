@@ -1,0 +1,139 @@
+"""Optimizers and LR schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import SGD, Adam, ConstantLR, CosineLR, StepDecayLR
+
+
+def _param(values):
+    p = Parameter(np.asarray(values, dtype=np.float32))
+    return p
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = _param([1.0, 2.0])
+        p.grad[...] = [0.5, 0.5]
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 1.95], atol=1e-6)
+
+    def test_momentum_accumulates(self):
+        p = _param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad[...] = 1.0
+        opt.step()  # v=1, w=-1
+        p.grad[...] = 1.0
+        opt.step()  # v=1.9, w=-2.9
+        np.testing.assert_allclose(p.data, [-2.9], atol=1e-6)
+
+    def test_reset_state_clears_velocity(self):
+        p = _param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad[...] = 1.0
+        opt.step()
+        opt.reset_state()
+        p.data[...] = 0.0
+        p.grad[...] = 1.0
+        opt.step()
+        np.testing.assert_allclose(p.data, [-1.0], atol=1e-6)
+
+    def test_weight_decay(self):
+        p = _param([1.0])
+        p.grad[...] = 0.0
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [0.95], atol=1e-6)
+
+    def test_nesterov_differs_from_heavy_ball(self):
+        p1, p2 = _param([0.0]), _param([0.0])
+        o1 = SGD([p1], lr=0.1, momentum=0.9)
+        o2 = SGD([p2], lr=0.1, momentum=0.9, nesterov=True)
+        for _ in range(3):
+            p1.grad[...] = 1.0
+            p2.grad[...] = 1.0
+            o1.step()
+            o2.step()
+        assert p1.data[0] != p2.data[0]
+
+    def test_nesterov_without_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([_param([0.0])], lr=0.1, nesterov=True)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([_param([0.0])], lr=0.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_zero_grad(self):
+        p = _param([1.0])
+        p.grad[...] = 3.0
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad[0] == 0.0
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        """With bias correction, |first step| == lr regardless of grad scale."""
+        for g in [0.001, 1.0, 1000.0]:
+            p = _param([0.0])
+            p.grad[...] = g
+            Adam([p], lr=0.1).step()
+            np.testing.assert_allclose(abs(p.data[0]), 0.1, rtol=1e-4)
+
+    def test_converges_on_quadratic(self):
+        p = _param([5.0])
+        opt = Adam([p], lr=0.5)
+        for _ in range(200):
+            p.grad[...] = 2 * p.data  # grad of x^2
+            opt.step()
+        assert abs(p.data[0]) < 0.05
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([_param([0.0])], betas=(1.0, 0.9))
+
+    def test_reset_state(self):
+        p = _param([0.0])
+        opt = Adam([p], lr=0.1)
+        p.grad[...] = 1.0
+        opt.step()
+        opt.reset_state()
+        assert opt._t == 0
+
+
+class TestSchedules:
+    def test_constant(self):
+        sched = ConstantLR(0.01)
+        assert sched(0) == sched(100) == 0.01
+
+    def test_step_decay(self):
+        sched = StepDecayLR(0.1, step=10, gamma=0.5)
+        assert sched(0) == 0.1
+        assert sched(10) == pytest.approx(0.05)
+        assert sched(25) == pytest.approx(0.025)
+
+    def test_cosine_endpoints(self):
+        sched = CosineLR(0.1, total=100, lr_min=0.01)
+        assert sched(0) == pytest.approx(0.1)
+        assert sched(100) == pytest.approx(0.01)
+        assert sched(50) == pytest.approx(0.055)
+
+    def test_cosine_monotone_decreasing(self):
+        sched = CosineLR(0.1, total=50)
+        vals = [sched(t) for t in range(51)]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            ConstantLR(0.0)
+        with pytest.raises(ValueError):
+            StepDecayLR(0.1, step=0)
+        with pytest.raises(ValueError):
+            CosineLR(0.1, total=10, lr_min=0.2)

@@ -1,0 +1,148 @@
+"""Non-IID partitioners: the mechanics behind Fig. 4."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    build_federated_data,
+    dirichlet_partition,
+    heterogeneity_summary,
+    iid_partition,
+    make_partition,
+    orthogonal_partition,
+    partition_label_counts,
+)
+
+
+@pytest.fixture
+def labels(rng):
+    return rng.integers(0, 10, size=2000)
+
+
+def _check_disjoint_exact(shards, per_client):
+    all_idx = np.concatenate(shards)
+    assert len(all_idx) == len(set(all_idx.tolist())), "shards overlap"
+    assert all(len(s) == per_client for s in shards), "quota violated"
+
+
+class TestIID:
+    def test_disjoint_and_sized(self, labels, rng):
+        shards = iid_partition(labels, 8, 100, rng)
+        _check_disjoint_exact(shards, 100)
+
+    def test_roughly_balanced_classes(self, labels, rng):
+        shards = iid_partition(labels, 5, 300, rng)
+        counts = partition_label_counts(labels, shards, 10)
+        # IID: each client ~30 per class.
+        assert (counts > 10).all()
+
+    def test_insufficient_data_rejected(self, labels, rng):
+        with pytest.raises(ValueError):
+            iid_partition(labels, 100, 100, rng)
+
+
+class TestDirichlet:
+    def test_disjoint_and_sized(self, labels, rng):
+        shards = dirichlet_partition(labels, 8, 100, rng, alpha=0.5)
+        _check_disjoint_exact(shards, 100)
+
+    def test_alpha_controls_skew(self, labels, rng):
+        """Fig. 4: Dir-0.1 clients hold 1-2 dominant classes, Dir-0.5 hold 3-4."""
+        s_low = dirichlet_partition(labels, 10, 150, np.random.default_rng(0), alpha=0.1)
+        s_high = dirichlet_partition(labels, 10, 150, np.random.default_rng(0), alpha=10.0)
+        h_low = heterogeneity_summary(partition_label_counts(labels, s_low, 10))
+        h_high = heterogeneity_summary(partition_label_counts(labels, s_high, 10))
+        assert h_low["mean_normalized_entropy"] < h_high["mean_normalized_entropy"]
+
+    def test_deterministic(self, labels):
+        a = dirichlet_partition(labels, 5, 100, np.random.default_rng(3), alpha=0.5)
+        b = dirichlet_partition(labels, 5, 100, np.random.default_rng(3), alpha=0.5)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_invalid_alpha(self, labels, rng):
+        with pytest.raises(ValueError):
+            dirichlet_partition(labels, 5, 100, rng, alpha=0.0)
+
+    def test_exhausting_pools_still_fills_quota(self, rng):
+        """Tight partition (all data assigned) must still satisfy quotas."""
+        labels = np.repeat(np.arange(4), 50)  # 200 samples
+        shards = dirichlet_partition(labels, 4, 50, rng, alpha=0.1)
+        _check_disjoint_exact(shards, 50)
+
+    def test_labels_correct(self, labels, rng):
+        shards = dirichlet_partition(labels, 4, 100, rng, alpha=0.5)
+        counts = partition_label_counts(labels, shards, 10)
+        assert counts.sum() == 400
+
+
+class TestOrthogonal:
+    def test_clusters_have_disjoint_classes(self, labels, rng):
+        shards = orthogonal_partition(labels, 10, 100, rng, n_clusters=5)
+        counts = partition_label_counts(labels, shards, 10)
+        # Clients in different clusters share no classes.
+        class_sets = [frozenset(np.flatnonzero(counts[k]).tolist()) for k in range(10)]
+        for i in range(10):
+            for j in range(10):
+                if i % 5 != j % 5:
+                    assert not (class_sets[i] & class_sets[j])
+
+    def test_orthogonal5_gives_two_classes(self, labels, rng):
+        """Fig. 4: Orthogonal-5 on 10 classes -> 2 classes per client."""
+        shards = orthogonal_partition(labels, 10, 100, rng, n_clusters=5)
+        counts = partition_label_counts(labels, shards, 10)
+        assert ((counts > 0).sum(axis=1) == 2).all()
+
+    def test_orthogonal10_gives_one_class(self, labels, rng):
+        shards = orthogonal_partition(labels, 10, 100, rng, n_clusters=10)
+        counts = partition_label_counts(labels, shards, 10)
+        assert ((counts > 0).sum(axis=1) == 1).all()
+
+    def test_disjoint_and_sized(self, labels, rng):
+        shards = orthogonal_partition(labels, 10, 100, rng, n_clusters=5)
+        _check_disjoint_exact(shards, 100)
+
+    def test_invalid_cluster_count(self, labels, rng):
+        with pytest.raises(ValueError):
+            orthogonal_partition(labels, 10, 50, rng, n_clusters=11)
+
+    def test_pool_exhaustion_raises(self, rng):
+        labels = np.repeat(np.arange(10), 10)  # only 10 per class
+        with pytest.raises(ValueError):
+            orthogonal_partition(labels, 10, 60, rng, n_clusters=10)
+
+
+class TestDispatch:
+    def test_make_partition_kinds(self, labels, rng):
+        for kind, kwargs in [("iid", {}), ("dirichlet", {"alpha": 0.5}), ("orthogonal", {"n_clusters": 5})]:
+            shards = make_partition(kind, labels, 5, 100, rng, **kwargs)
+            assert len(shards) == 5
+
+    def test_unknown_kind(self, labels, rng):
+        with pytest.raises(KeyError):
+            make_partition("zipf", labels, 5, 100, rng)
+
+
+class TestFederatedData:
+    def test_build_and_shard_access(self):
+        fed = build_federated_data("tiny", n_clients=5, partition="dirichlet", alpha=0.5, seed=0)
+        assert fed.n_clients == 5
+        ds = fed.client_dataset(0)
+        assert len(ds) == len(fed.client_shards[0])
+
+    def test_label_counts_shape(self):
+        fed = build_federated_data("tiny", n_clients=5, partition="iid", seed=0)
+        counts = fed.label_counts()
+        assert counts.shape == (5, fed.spec.num_classes)
+
+    def test_caps_samples_per_client(self):
+        # tiny has 400 train samples; 8 clients => at most 50 each.
+        fed = build_federated_data("tiny", n_clients=8, partition="iid", seed=0,
+                                   samples_per_client=1000)
+        assert all(len(s) == 50 for s in fed.client_shards)
+
+    def test_too_many_clients_rejected(self):
+        with pytest.raises(ValueError):
+            build_federated_data("tiny", n_clients=500, partition="iid", seed=0)
