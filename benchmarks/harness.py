@@ -24,7 +24,8 @@ import json
 import os
 from typing import Dict, List, Optional, Tuple
 
-from repro import FLConfig, Simulation, build_federated_data, build_strategy
+from repro import build_federated_data
+from repro.api import ExperimentSpec, run_experiment
 from repro.fl.history import History
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
@@ -32,7 +33,8 @@ OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 #: The six methods of the paper's evaluation, in its presentation order.
 METHODS = ("fedtrip", "fedavg", "fedprox", "slowmo", "moon", "feddyn")
 
-_RUN_CACHE: Dict[Tuple, History] = {}
+#: run memoization, keyed by ExperimentSpec.cell_key().
+_RUN_CACHE: Dict[str, History] = {}
 _DATA_CACHE: Dict[Tuple, object] = {}
 
 
@@ -80,32 +82,34 @@ def run_case(
     samples_per_client: Optional[int] = None,
     strategy_overrides: Optional[dict] = None,
 ) -> History:
-    """Train one (case, method) cell, memoized for the whole pytest session."""
-    overrides = tuple(sorted((strategy_overrides or {}).items()))
-    key = (
-        dataset, model, method, partition, alpha, n_clusters, rounds, n_clients,
-        clients_per_round, batch_size, local_epochs, lr, seed, samples_per_client,
-        overrides,
-    )
-    if key in _RUN_CACHE:
-        return _RUN_CACHE[key]
-    data = get_data(
-        dataset, n_clients, partition,
+    """Train one (case, method) cell, memoized for the whole pytest session.
+
+    A thin adapter: normalizes the arguments into an
+    :class:`~repro.api.spec.ExperimentSpec` and defers to
+    :func:`~repro.api.engine.run_experiment`, memoizing on the spec's
+    stable ``cell_key()``.
+    """
+    spec = ExperimentSpec(
+        dataset=dataset, model=model, method=method, partition=partition,
         alpha=alpha if partition == "dirichlet" else None,
-        n_clusters=n_clusters if partition == "orthogonal" else None,
-        samples_per_client=samples_per_client, seed=seed,
-    )
-    config = FLConfig(
+        n_clusters=n_clusters if n_clusters is not None else 5,
         rounds=rounds, n_clients=n_clients, clients_per_round=clients_per_round,
         batch_size=batch_size, local_epochs=local_epochs, lr=lr, seed=seed,
+        samples_per_client=samples_per_client,
+        overrides=strategy_overrides or {},
     )
-    strategy = build_strategy(method, model=model, dataset=dataset,
-                              **(strategy_overrides or {}))
-    sim = Simulation(data, strategy, config, model_name=model)
-    history = sim.run()
-    sim.close()
-    _RUN_CACHE[key] = history
-    return history
+    key = spec.cell_key()
+    if key not in _RUN_CACHE:
+        # Reuse the session-wide data cache: the six methods of one case
+        # (and every lr/rounds axis) share a single partitioned dataset.
+        data = get_data(
+            dataset, n_clients, partition,
+            alpha=spec.alpha,
+            n_clusters=n_clusters if partition == "orthogonal" else None,
+            samples_per_client=samples_per_client, seed=seed,
+        )
+        _RUN_CACHE[key] = run_experiment(spec, data=data)
+    return _RUN_CACHE[key]
 
 
 # ---------------------------------------------------------------------------

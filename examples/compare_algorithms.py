@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import argparse
 
-from repro import FLConfig, Simulation, build_federated_data, build_strategy
 from repro.algorithms import PAPER_EVALUATED
+from repro.api import ExperimentSpec, run_experiment
 
 
 def sparkline(values, width: int = 40) -> str:
@@ -44,21 +44,16 @@ def main() -> None:
                         help="target accuracy %% for the rounds-to-target table")
     args = parser.parse_args()
 
-    data = build_federated_data(
-        args.dataset, n_clients=10, partition="dirichlet", alpha=0.5, seed=0
-    )
-    config = FLConfig(
-        rounds=args.rounds, n_clients=10, clients_per_round=4,
+    base = ExperimentSpec(
+        dataset=args.dataset, model=args.model, partition="dirichlet", alpha=0.5,
+        n_clients=10, clients_per_round=4, rounds=args.rounds,
         batch_size=50, lr=0.05, seed=0,
     )
 
     results = {}
     for name in PAPER_EVALUATED:
-        strategy = build_strategy(name, model=args.model, dataset=args.dataset)
-        sim = Simulation(data, strategy, config, model_name=args.model)
-        hist = sim.run()
+        hist = run_experiment(base.with_axis("method", name))
         results[name] = hist
-        sim.close()
         print(f"trained {name:8s}  best={hist.best_accuracy():6.2f}%  "
               f"{sparkline(hist.ema_accuracy())}")
 

@@ -1,17 +1,24 @@
 """repro — a full reproduction of *FedTrip: A Resource-Efficient Federated
 Learning Method with Triplet Regularization* (Li et al., IPDPS 2023).
 
-Quickstart::
+Quickstart — declare the run as one :class:`~repro.api.spec.ExperimentSpec`
+and train it through the callback-driven engine::
 
-    from repro import build_federated_data, build_strategy, FLConfig, Simulation
+    from repro import ExperimentSpec, EarlyStopping, run_experiment
 
-    data = build_federated_data("mini_mnist", n_clients=10,
-                                partition="dirichlet", alpha=0.5, seed=0)
-    config = FLConfig(rounds=30, n_clients=10, clients_per_round=4)
-    sim = Simulation(data, build_strategy("fedtrip", mu=0.4), config,
-                     model_name="cnn")
-    history = sim.run()
-    print(history.best_accuracy(), history.rounds_to_accuracy(80.0))
+    spec = ExperimentSpec(dataset="mini_mnist", model="cnn", method="fedtrip",
+                          partition="dirichlet", alpha=0.5,
+                          n_clients=10, clients_per_round=4,
+                          rounds=30, lr=0.02, seed=0,
+                          overrides={"mu": 0.4})
+    history = run_experiment(spec, callbacks=[EarlyStopping(target_accuracy=85.0)])
+    print(history.best_accuracy(), history.rounds_to_accuracy(80.0),
+          history.stop_reason)
+
+The same spec drives the CLI (``python -m repro train ...``), the sweep grid
+(:mod:`repro.experiments`) and the benchmark harness; the imperative
+``Simulation`` API remains as a compatibility shim over the engine (see
+:mod:`repro.api`).
 
 Subpackages
 -----------
@@ -20,6 +27,7 @@ Subpackages
 ``repro.optim``       SGD / SGDm / Adam + LR schedules
 ``repro.data``        synthetic datasets, loaders, non-IID partitioners
 ``repro.fl``          server / clients / round loop / metrics
+``repro.api``         ExperimentSpec + callback-driven Engine front door
 ``repro.algorithms``  FedTrip + 9 baselines behind one Strategy API
 ``repro.costs``       Table VIII / Table V resource accounting
 ``repro.analysis``    Theorem 1 calculator, toy trajectories, t-SNE
@@ -27,6 +35,15 @@ Subpackages
 
 from repro.data import build_federated_data, FederatedData, get_spec
 from repro.fl import FLConfig, Simulation, History, UniformSampler
+from repro.api import (
+    ExperimentSpec,
+    Engine,
+    run_experiment,
+    Callback,
+    EarlyStopping,
+    ProgressLogger,
+    Checkpointer,
+)
 from repro.algorithms import (
     build_strategy,
     available_strategies,
@@ -53,6 +70,13 @@ __all__ = [
     "Simulation",
     "History",
     "UniformSampler",
+    "ExperimentSpec",
+    "Engine",
+    "run_experiment",
+    "Callback",
+    "EarlyStopping",
+    "ProgressLogger",
+    "Checkpointer",
     "build_strategy",
     "available_strategies",
     "FedTrip",

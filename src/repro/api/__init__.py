@@ -1,0 +1,49 @@
+"""The unified experiment front door.
+
+One declarative :class:`ExperimentSpec` describes a training run end to end
+(dataset, partition, model, method, round loop, client sampling, execution
+backend); :func:`run_experiment` materializes it through the callback-driven
+:class:`Engine`.  Every runner in the repository — the CLI, the sweep grid in
+:mod:`repro.experiments`, and ``benchmarks/harness.py`` — is a thin adapter
+over this module, so a new scenario (a sampler, a compression scheme, an
+availability model) only has to be wired in once.
+
+Quickstart::
+
+    from repro.api import ExperimentSpec, EarlyStopping, run_experiment
+
+    spec = ExperimentSpec(dataset="mini_mnist", model="cnn", method="fedtrip",
+                          partition="dirichlet", alpha=0.5,
+                          rounds=30, clients_per_round=4, lr=0.02, seed=0)
+    history = run_experiment(spec, callbacks=[EarlyStopping(target_accuracy=90.0)])
+    print(history.best_accuracy(), history.stop_reason)
+"""
+
+from repro.api.spec import ExperimentSpec
+from repro.api.registry import (
+    available_samplers,
+    build_sampler,
+    register_sampler,
+)
+from repro.api.callbacks import (
+    Callback,
+    Checkpointer,
+    DriftTracker,
+    EarlyStopping,
+    ProgressLogger,
+)
+from repro.api.engine import Engine, run_experiment
+
+__all__ = [
+    "ExperimentSpec",
+    "Engine",
+    "run_experiment",
+    "Callback",
+    "EarlyStopping",
+    "ProgressLogger",
+    "Checkpointer",
+    "DriftTracker",
+    "available_samplers",
+    "build_sampler",
+    "register_sampler",
+]

@@ -1,0 +1,219 @@
+"""The Engine's callback protocol and the built-in callbacks.
+
+A :class:`Callback` observes the round loop at six points::
+
+    on_round_start(engine, round_idx, selected)     after client sampling
+    on_client_update(engine, round_idx, update)     per returned ClientUpdate
+    on_aggregate(engine, round_idx, updates, global_weights)
+                                                    before aggregation; the
+                                                    weights are the pre-
+                                                    aggregation global model
+    on_evaluate(engine, round_idx, accuracy, loss)  on evaluated rounds only
+    on_round_end(engine, record)                    after the RoundRecord is
+                                                    appended to the history
+    on_fit_end(engine, history)                     once, when run() returns
+
+Callbacks are observers: they must not mutate weights, RNG state or client
+state (the engine's determinism guarantees rely on it).  The one sanctioned
+side effect is :meth:`~repro.api.engine.Engine.request_stop`, which ends
+training after the current round completes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.drift import DriftTracker as _DriftMetrics
+from repro.fl.history import History
+from repro.fl.types import ClientUpdate, RoundRecord
+from repro.io.persistence import save_checkpoint
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "Callback",
+    "EarlyStopping",
+    "ProgressLogger",
+    "Checkpointer",
+    "DriftTracker",
+]
+
+_log = get_logger("api.callbacks")
+
+
+class Callback:
+    """No-op base class; subclasses override the hooks they care about."""
+
+    def on_round_start(self, engine, round_idx: int, selected: Sequence[int]) -> None:
+        pass
+
+    def on_client_update(self, engine, round_idx: int, update: ClientUpdate) -> None:
+        pass
+
+    def on_aggregate(
+        self,
+        engine,
+        round_idx: int,
+        updates: Sequence[ClientUpdate],
+        global_weights: Sequence[np.ndarray],
+    ) -> None:
+        pass
+
+    def on_evaluate(
+        self, engine, round_idx: int, accuracy: Optional[float], loss: Optional[float]
+    ) -> None:
+        pass
+
+    def on_round_end(self, engine, record: RoundRecord) -> None:
+        pass
+
+    def on_fit_end(self, engine, history: History) -> None:
+        pass
+
+
+class EarlyStopping(Callback):
+    """Stop training at a target accuracy and/or when progress stalls.
+
+    Parameters
+    ----------
+    target_accuracy:
+        Stop as soon as an evaluated test accuracy reaches this value
+        (percent).  This is how ``FLConfig.target_accuracy`` takes effect.
+    patience:
+        Stop after this many consecutive evaluations without the best
+        accuracy improving by more than ``min_delta``.
+    min_delta:
+        Improvement threshold for the patience counter, in accuracy points.
+    """
+
+    def __init__(
+        self,
+        target_accuracy: Optional[float] = None,
+        patience: Optional[int] = None,
+        min_delta: float = 0.0,
+    ) -> None:
+        if target_accuracy is None and patience is None:
+            raise ValueError("EarlyStopping needs target_accuracy and/or patience")
+        if patience is not None and patience <= 0:
+            raise ValueError("patience must be positive")
+        self.target_accuracy = target_accuracy
+        self.patience = patience
+        self.min_delta = float(min_delta)
+        self.best: Optional[float] = None
+        self._stale = 0
+
+    def on_evaluate(
+        self, engine, round_idx: int, accuracy: Optional[float], loss: Optional[float]
+    ) -> None:
+        if accuracy is None:
+            return
+        if self.target_accuracy is not None and accuracy >= self.target_accuracy:
+            engine.request_stop(
+                f"target_accuracy {self.target_accuracy:g}% reached "
+                f"({accuracy:.2f}% at round {round_idx})"
+            )
+            return
+        if self.patience is None:
+            return
+        if self.best is None or accuracy > self.best + self.min_delta:
+            self.best = accuracy
+            self._stale = 0
+        else:
+            self._stale += 1
+            if self._stale >= self.patience:
+                engine.request_stop(
+                    f"no improvement over {self.best:.2f}% in "
+                    f"{self.patience} evaluations (round {round_idx})"
+                )
+
+
+class ProgressLogger(Callback):
+    """Log accuracy/loss on evaluated rounds (the old ``progress=True``)."""
+
+    def on_round_end(self, engine, record: RoundRecord) -> None:
+        if record.test_accuracy is None:
+            return
+        _log.info(
+            "[%s] round %d acc=%.2f%% loss=%.4f",
+            engine.strategy.name,
+            record.round_idx,
+            record.test_accuracy,
+            record.test_loss,
+        )
+
+    def on_fit_end(self, engine, history: History) -> None:
+        if history.stop_reason:
+            _log.info("[%s] stopped early: %s", engine.strategy.name, history.stop_reason)
+
+
+class Checkpointer(Callback):
+    """Save the global model via :func:`repro.io.persistence.save_checkpoint`.
+
+    Writes ``round_<idx>.npz`` every ``every`` rounds (None = only at the
+    end) and ``final.npz`` when training finishes.  Per-round metadata
+    records that round's index and evaluated accuracy; ``final.npz``
+    records the number of completed rounds.
+    """
+
+    def __init__(self, directory: str, every: Optional[int] = None) -> None:
+        if every is not None and every <= 0:
+            raise ValueError("every must be positive")
+        self.directory = directory
+        self.every = every
+        self.saved: list = []
+
+    def _save(self, engine, name: str, round_idx: int,
+              record: Optional[RoundRecord]) -> None:
+        meta: Dict = {"round": round_idx}
+        if record is not None and record.test_accuracy is not None:
+            meta["test_accuracy"] = record.test_accuracy
+        path = save_checkpoint(
+            engine.global_model(), os.path.join(self.directory, name), meta
+        )
+        self.saved.append(path)
+
+    def on_round_end(self, engine, record: RoundRecord) -> None:
+        if self.every is not None and (record.round_idx + 1) % self.every == 0:
+            self._save(engine, f"round_{record.round_idx}", record.round_idx, record)
+
+    def on_fit_end(self, engine, history: History) -> None:
+        record = history.records[-1] if history.records else None
+        self._save(engine, "final", len(history), record)
+
+
+class DriftTracker(Callback):
+    """Per-round client-drift diagnostics (wraps :mod:`repro.analysis.drift`).
+
+    Exposes the same ``divergence`` / ``consistency`` / ``mean_drift``
+    series and ``summary()`` as the analysis-layer tracker, fed from the
+    engine's aggregate phase instead of the legacy observer list.
+    """
+
+    def __init__(self) -> None:
+        self._metrics = _DriftMetrics()
+
+    def on_aggregate(
+        self,
+        engine,
+        round_idx: int,
+        updates: Sequence[ClientUpdate],
+        global_weights: Sequence[np.ndarray],
+    ) -> None:
+        self._metrics.observe(updates, global_weights)
+
+    @property
+    def divergence(self):
+        return self._metrics.divergence
+
+    @property
+    def consistency(self):
+        return self._metrics.consistency
+
+    @property
+    def mean_drift(self):
+        return self._metrics.mean_drift
+
+    def summary(self) -> Dict[str, float]:
+        return self._metrics.summary()

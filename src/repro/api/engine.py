@@ -1,0 +1,399 @@
+"""The callback-driven FL round engine (Algorithm 1's outer structure).
+
+Each round runs seven named phases::
+
+    sample -> broadcast -> preamble -> local_train -> aggregate -> evaluate -> record
+
+1. **sample** — the sampler picks K clients (line 2);
+2. **broadcast** — the server snapshots the payload shipped with the global
+   model (e.g. SCAFFOLD's control variate);
+3. **preamble** — FedDANE/MimeLite collect full-batch gradients at the global
+   model and the server combines them;
+4. **local_train** — every selected client trains locally from the global
+   weights (lines 3-10), through a pluggable serial/threaded executor;
+5. **aggregate** — the server aggregates (line 12) and the strategy
+   post-processes;
+6. **evaluate** — the global model is scored on the held-out test set (every
+   ``eval_every`` rounds and on the last round);
+7. **record** — a :class:`~repro.fl.types.RoundRecord` is appended to the
+   history, including cumulative computation (FLOPs) and communication
+   (bytes) — the quantities Tables IV and V report.
+
+:class:`~repro.api.callbacks.Callback` hooks observe the loop between
+phases; see that module for the lifecycle.  ``FLConfig.target_accuracy``
+is honoured by auto-attaching an
+:class:`~repro.api.callbacks.EarlyStopping` callback.
+
+The legacy :class:`repro.fl.simulation.Simulation` class is a compatibility
+shim over this engine; :func:`run_experiment` is the declarative front door.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import ClientRoundContext, Strategy
+from repro.data.federated import FederatedData
+from repro.fl.client import Client, run_client_round
+from repro.fl.evaluation import evaluate_model, full_batch_gradient
+from repro.fl.executor import SerialExecutor, ThreadedExecutor, WorkerContext
+from repro.fl.history import History
+from repro.fl.sampling import UniformSampler
+from repro.fl.server import Server
+from repro.fl.types import ClientUpdate, FLConfig, RoundRecord
+from repro.models import build_model, profile_model
+from repro.models.fedmodel import FedModel
+from repro.nn.losses import CrossEntropyLoss
+from repro.optim import SGD, Adam
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngStream
+
+from repro.api.callbacks import Callback, EarlyStopping, ProgressLogger
+
+__all__ = ["Engine", "run_experiment", "make_optimizer"]
+
+_log = get_logger("api.engine")
+
+
+def make_optimizer(name: str, params, config: FLConfig):
+    """Build the local optimizer the paper pairs with each method."""
+    key = name.lower()
+    if key == "sgdm":
+        return SGD(params, lr=config.lr, momentum=config.momentum)
+    if key == "sgd":
+        return SGD(params, lr=config.lr, momentum=0.0)
+    if key == "adam":
+        return Adam(params, lr=config.lr)
+    raise ValueError(f"unknown optimizer {name!r}")
+
+
+class Engine:
+    """Wire a dataset, a model architecture and a strategy into a round loop.
+
+    Parameters
+    ----------
+    data:
+        Partitioned federated dataset.
+    strategy:
+        Algorithm instance (see :mod:`repro.algorithms`).
+    config:
+        Round/optimizer configuration.
+    model_name:
+        Registry key ("mlp" / "cnn" / "alexnet"); ignored if ``model_fn``.
+    model_fn:
+        Custom factory ``() -> FedModel``, overriding the registry.
+    sampler:
+        Client-selection policy; defaults to the paper's uniform K-of-N.
+    n_workers:
+        >1 enables the threaded executor (strategies with a preamble phase
+        require serial execution and will reject it).
+    callbacks:
+        :class:`~repro.api.callbacks.Callback` instances observing the loop.
+        If ``config.target_accuracy`` is set and no
+        :class:`~repro.api.callbacks.EarlyStopping` is supplied, one is
+        attached automatically so the loop actually stops at the target.
+    """
+
+    def __init__(
+        self,
+        data: FederatedData,
+        strategy: Strategy,
+        config: FLConfig,
+        model_name: str = "cnn",
+        model_fn: Optional[Callable[[], FedModel]] = None,
+        sampler=None,
+        n_workers: int = 1,
+        callbacks: Iterable[Callback] = (),
+    ) -> None:
+        if config.n_clients != data.n_clients:
+            raise ValueError(
+                f"config.n_clients={config.n_clients} but data has {data.n_clients} shards"
+            )
+        self.data = data
+        self.strategy = strategy
+        self.config = config
+        root = RngStream(config.seed)
+        if model_fn is None:
+            spec = data.spec
+
+            def model_fn() -> FedModel:
+                # A fresh child generator per call -> every replica gets the
+                # same deterministic initial weights.
+                return build_model(
+                    model_name,
+                    spec.input_shape,
+                    spec.num_classes,
+                    rng=root.child("model-init").generator,
+                )
+
+        self._model_fn = model_fn
+        canonical = model_fn()
+        self.profile = profile_model(canonical)
+        self.server = Server(canonical.get_weights(), strategy, config)
+        self.clients: List[Client] = [
+            Client(k, data.client_dataset(k), seed=config.seed) for k in range(data.n_clients)
+        ]
+        for c in self.clients:
+            c.state = strategy.init_client_state(c.id)
+        self.sampler = sampler if sampler is not None else UniformSampler(
+            config.n_clients, config.clients_per_round, seed=config.seed
+        )
+        opt_name = strategy.local_optimizer or config.optimizer
+
+        def make_worker() -> WorkerContext:
+            model = model_fn()
+            frozen = model_fn()
+            frozen.eval()
+            optimizer = make_optimizer(opt_name, model.parameters(), config)
+            return WorkerContext(model, frozen, optimizer, CrossEntropyLoss())
+
+        if n_workers <= 1:
+            self.executor = SerialExecutor(make_worker)
+        else:
+            if strategy.needs_preamble:
+                raise ValueError(
+                    f"{strategy.name} uses a preamble phase; run with n_workers=1"
+                )
+            self.executor = ThreadedExecutor(make_worker, n_workers)
+        self.history = History()
+        self.callbacks: List[Callback] = list(callbacks)
+        if config.target_accuracy is not None and not any(
+            isinstance(cb, EarlyStopping) for cb in self.callbacks
+        ):
+            self.callbacks.append(EarlyStopping(target_accuracy=config.target_accuracy))
+        # Legacy observers called with (updates, global_weights_before_
+        # aggregation) every round; superseded by Callback.on_aggregate but
+        # kept so existing attach()-style diagnostics keep working.
+        self.update_observers: List = []
+        self._stop_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # callback / stop plumbing
+    # ------------------------------------------------------------------
+    def add_callback(self, callback: Callback) -> "Engine":
+        self.callbacks.append(callback)
+        return self
+
+    def request_stop(self, reason: str) -> None:
+        """Ask the loop to stop once the current round completes.
+
+        The first reason wins; it is recorded on ``history.stop_reason``.
+        """
+        if self._stop_reason is None:
+            self._stop_reason = reason
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop_reason is not None
+
+    def _fire(self, hook: str, *args) -> None:
+        for cb in self.callbacks:
+            getattr(cb, hook)(self, *args)
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+    def _build_ctx(self, worker: WorkerContext, client: Client, round_idx: int,
+                   broadcast: Dict) -> ClientRoundContext:
+        worker.model.set_weights(self.server.weights)
+        return ClientRoundContext(
+            client_id=client.id,
+            round_idx=round_idx,
+            global_weights=self.server.weights,
+            model=worker.model,
+            frozen=worker.frozen,
+            optimizer=worker.optimizer,
+            criterion=worker.criterion,
+            config=self.config,
+            state=client.state,
+            rng=client.round_rng(round_idx),
+            n_samples=client.num_samples,
+            fp_flops_per_sample=float(self.profile.forward_flops),
+            server_broadcast=dict(broadcast),
+        )
+
+    def _phase_sample(self, round_idx: int) -> List[int]:
+        """Phase 1: pick this round's K participants."""
+        return self.sampler.select(round_idx)
+
+    def _phase_broadcast(self) -> Dict:
+        """Phase 2: the server-side payload shipped with the global model."""
+        return self.server.broadcast_payload()
+
+    def _phase_preamble(
+        self, selected: List[int], round_idx: int, broadcast: Dict
+    ) -> Tuple[Dict, Dict[int, float]]:
+        """Phase 3: full-batch gradients at the global model (FedDANE/MimeLite).
+
+        Returns the (possibly refreshed) broadcast payload and the FLOPs
+        each preamble client spent.
+        """
+        if not self.strategy.needs_preamble:
+            return broadcast, {}
+        worker = self.executor.borrow_worker()
+        if worker is None:  # pragma: no cover - constructor already rejects this
+            raise RuntimeError("preamble phase requires serial execution")
+        payloads: Dict[int, Dict] = {}
+        preamble_flops: Dict[int, float] = {}
+        for k in selected:
+            client = self.clients[k]
+            ctx = self._build_ctx(worker, client, round_idx, broadcast)
+            grad = full_batch_gradient(worker.model, client.dataset, self.config.eval_batch_size)
+            payloads[k] = self.strategy.client_preamble(ctx, grad)
+            # full-batch grad = one fwd+bwd pass over the shard (3x forward).
+            preamble_flops[k] = 3.0 * client.num_samples * self.profile.forward_flops
+        self.server.run_preamble(payloads)
+        return self.server.broadcast_payload(), preamble_flops
+
+    def _phase_local_train(
+        self,
+        selected: List[int],
+        round_idx: int,
+        broadcast: Dict,
+        preamble_flops: Dict[int, float],
+    ) -> List[ClientUpdate]:
+        """Phase 4: train the selected clients through the executor."""
+
+        def make_task(client: Client):
+            def task(worker: WorkerContext):
+                ctx = self._build_ctx(worker, client, round_idx, broadcast)
+                return run_client_round(client, self.strategy, ctx)
+
+            return task
+
+        updates = self.executor.run([make_task(self.clients[k]) for k in selected])
+        for upd in updates:
+            upd.flops += preamble_flops.get(upd.client_id, 0.0)
+            self._fire("on_client_update", round_idx, upd)
+        return updates
+
+    def _phase_aggregate(self, round_idx: int, updates: List[ClientUpdate]) -> None:
+        """Phase 5: observers see (updates, pre-aggregation weights), then
+        the server aggregates and the strategy post-processes."""
+        self._fire("on_aggregate", round_idx, updates, self.server.weights)
+        for observer in self.update_observers:
+            observer(updates, self.server.weights)
+        self.server.apply_updates(updates)
+
+    def _phase_evaluate(self, round_idx: int) -> Tuple[Optional[float], Optional[float]]:
+        """Phase 6: score the new global model on the held-out test split."""
+        evaluate = (
+            round_idx % self.config.eval_every == 0 or round_idx == self.config.rounds - 1
+        )
+        if not evaluate:
+            return None, None
+        acc, loss = self.evaluate_global()
+        self._fire("on_evaluate", round_idx, acc, loss)
+        return acc, loss
+
+    def _phase_record(
+        self,
+        round_idx: int,
+        selected: List[int],
+        updates: List[ClientUpdate],
+        acc: Optional[float],
+        loss: Optional[float],
+        t0: float,
+    ) -> RoundRecord:
+        """Phase 7: cost bookkeeping + append the round record."""
+        round_flops = sum(u.flops for u in updates)
+        round_comm = sum(u.comm_bytes for u in updates)
+        prev = self.history.records[-1] if self.history.records else None
+        record = RoundRecord(
+            round_idx=round_idx,
+            selected=selected,
+            test_accuracy=acc,
+            test_loss=loss,
+            mean_train_loss=float(np.mean([u.train_loss for u in updates])),
+            cumulative_flops=(prev.cumulative_flops if prev else 0.0) + round_flops,
+            cumulative_comm_bytes=(prev.cumulative_comm_bytes if prev else 0.0) + round_comm,
+            wall_seconds=time.perf_counter() - t0,
+        )
+        self.history.append(record)
+        self._fire("on_round_end", record)
+        return record
+
+    # ------------------------------------------------------------------
+    # round loop
+    # ------------------------------------------------------------------
+    def run_round(self) -> RoundRecord:
+        t0 = time.perf_counter()
+        round_idx = self.server.round_idx
+        selected = self._phase_sample(round_idx)
+        self._fire("on_round_start", round_idx, selected)
+        broadcast = self._phase_broadcast()
+        broadcast, preamble_flops = self._phase_preamble(selected, round_idx, broadcast)
+        updates = self._phase_local_train(selected, round_idx, broadcast, preamble_flops)
+        self._phase_aggregate(round_idx, updates)
+        acc, loss = self._phase_evaluate(round_idx)
+        return self._phase_record(round_idx, selected, updates, acc, loss, t0)
+
+    def run(self, progress: bool = False) -> History:
+        """Run the remaining rounds (honouring early stop) and return the
+        history; fires ``on_fit_end`` exactly once per call."""
+        if progress:
+            logger = ProgressLogger()
+            self.callbacks.append(logger)
+        try:
+            while len(self.history) < self.config.rounds and not self.stop_requested:
+                self.run_round()
+        finally:
+            if progress:
+                self.callbacks.remove(logger)
+        if self._stop_reason is not None:
+            self.history.stop_reason = self._stop_reason
+            _log.info("[%s] early stop: %s", self.strategy.name, self._stop_reason)
+        self._fire("on_fit_end", self.history)
+        return self.history
+
+    # ------------------------------------------------------------------
+    # inspection / lifecycle
+    # ------------------------------------------------------------------
+    def evaluate_global(self) -> Tuple[float, float]:
+        """Accuracy/loss of the current global weights on the test split."""
+        worker = self.executor.borrow_worker()
+        model = worker.model if worker is not None else self._model_fn()
+        model.set_weights(self.server.weights)
+        return evaluate_model(model, self.data.test, self.config.eval_batch_size)
+
+    def global_model(self) -> FedModel:
+        """A fresh model instance loaded with the current global weights."""
+        model = self._model_fn()
+        model.set_weights(self.server.weights)
+        return model
+
+    def close(self) -> None:
+        self.executor.close()
+
+
+def run_experiment(
+    spec,
+    callbacks: Iterable[Callback] = (),
+    progress: bool = False,
+    data: Optional[FederatedData] = None,
+) -> History:
+    """Train one :class:`~repro.api.spec.ExperimentSpec` and return its history.
+
+    The declarative front door: builds the data, strategy, config and
+    sampler from the spec, runs the engine to completion (early stop
+    included) and releases the executor.  ``data`` optionally supplies a
+    prebuilt dataset equal to ``spec.build_data()`` — a cache hook for
+    callers training many methods on one partition; the caller is
+    responsible for it actually matching the spec's data fields.
+    """
+    engine = Engine(
+        data if data is not None else spec.build_data(),
+        spec.build_strategy(),
+        spec.build_config(),
+        model_name=spec.model,
+        sampler=spec.build_sampler(),
+        n_workers=spec.n_workers,
+        callbacks=callbacks,
+    )
+    try:
+        return engine.run(progress=progress)
+    finally:
+        engine.close()

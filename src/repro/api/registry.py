@@ -1,0 +1,103 @@
+"""Client-sampler registry: name -> factory.
+
+The samplers in :mod:`repro.fl.sampling` and :mod:`repro.fl.availability`
+have heterogeneous constructors (a weighted sampler wants a weight vector, a
+diurnal sampler wants a phase count).  The registry normalizes them behind
+one factory signature so a sampler can be chosen declaratively — from an
+:class:`~repro.api.spec.ExperimentSpec` field or a ``--sampler`` CLI flag —
+instead of being hardwired to :class:`~repro.fl.sampling.UniformSampler`:
+
+    sampler = build_sampler("dropout", n_clients=10, clients_per_round=4,
+                            seed=0, dropout=0.2)
+
+Third-party policies plug in with :func:`register_sampler`; the only contract
+is ``select(round_idx) -> List[int]`` plus ``n_clients`` /
+``clients_per_round`` / ``participation_rate`` attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.fl.availability import DiurnalSampler, DropoutSampler
+from repro.fl.sampling import FixedSampler, UniformSampler, WeightedSampler
+
+__all__ = ["available_samplers", "build_sampler", "register_sampler"]
+
+#: factory(n_clients, clients_per_round, seed, **kwargs) -> sampler
+SamplerFactory = Callable[..., Any]
+
+_SAMPLERS: Dict[str, SamplerFactory] = {}
+
+
+def register_sampler(name: str, factory: SamplerFactory) -> None:
+    """Register (or replace) a sampler factory under ``name``."""
+    _SAMPLERS[name.lower()] = factory
+
+
+def available_samplers() -> List[str]:
+    return sorted(_SAMPLERS)
+
+
+def build_sampler(
+    name: str, *, n_clients: int, clients_per_round: int, seed: int = 0, **kwargs
+):
+    """Instantiate the sampler registered under ``name``.
+
+    ``kwargs`` are policy-specific (``dropout=``, ``phases=``, ``weights=``,
+    ...) and forwarded to the factory; an unknown name or a kwarg the policy
+    does not accept raises ``ValueError``.
+    """
+    try:
+        factory = _SAMPLERS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown sampler {name!r}; available: {available_samplers()}"
+        ) from None
+    try:
+        return factory(
+            n_clients=n_clients, clients_per_round=clients_per_round, seed=seed, **kwargs
+        )
+    except TypeError as exc:
+        raise ValueError(f"bad arguments for sampler {name!r}: {exc}") from None
+
+
+# ---------------------------------------------------------------------------
+# Built-in policies.
+# ---------------------------------------------------------------------------
+
+def _uniform(n_clients: int, clients_per_round: int, seed: int) -> UniformSampler:
+    return UniformSampler(n_clients, clients_per_round, seed=seed)
+
+
+def _weighted(n_clients: int, clients_per_round: int, seed: int, weights) -> WeightedSampler:
+    if len(weights) != n_clients:
+        raise ValueError(
+            f"weighted sampler needs {n_clients} weights, got {len(weights)}"
+        )
+    return WeightedSampler(weights, clients_per_round, seed=seed)
+
+
+def _fixed(n_clients: int, clients_per_round: int, seed: int, schedule) -> FixedSampler:
+    return FixedSampler(schedule, n_clients=n_clients)
+
+
+def _dropout(
+    n_clients: int, clients_per_round: int, seed: int, dropout: float = 0.1
+) -> DropoutSampler:
+    return DropoutSampler(n_clients, clients_per_round, dropout=dropout, seed=seed)
+
+
+def _diurnal(
+    n_clients: int, clients_per_round: int, seed: int, phases: int = 2, window: int = 5
+) -> DiurnalSampler:
+    return DiurnalSampler(
+        n_clients, clients_per_round, phases=phases, window=window, seed=seed
+    )
+
+
+register_sampler("uniform", _uniform)
+register_sampler("weighted", _weighted)
+register_sampler("fixed", _fixed)
+register_sampler("dropout", _dropout)
+register_sampler("diurnal", _diurnal)

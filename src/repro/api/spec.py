@@ -1,0 +1,186 @@
+"""One declarative, hashable description of a training run.
+
+:class:`ExperimentSpec` is the single source of truth the CLI, the sweep
+grid and the benchmark harness all construct and hand to
+:func:`~repro.api.engine.run_experiment`.  It is frozen (usable as a dict
+key, safe to share across threads), serializable (``to_dict`` /
+``from_dict`` round-trip through JSON), and content-addressed
+(:meth:`cell_key` is a stable hash suitable for run caches and experiment
+stores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.algorithms import build_strategy
+from repro.data import build_federated_data
+from repro.fl.types import FLConfig
+from repro.io.persistence import ExperimentStore
+
+from repro.api.registry import build_sampler
+
+__all__ = ["ExperimentSpec"]
+
+Pairs = Union[Tuple[Tuple[str, Any], ...], Mapping[str, Any]]
+
+
+def _canon_value(value: Any) -> Any:
+    """Lists/tuples become (nested) tuples so the spec stays hashable."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_canon_value(v) for v in value)
+    return value
+
+
+def _as_pairs(value: Pairs, name: str) -> Tuple[Tuple[str, Any], ...]:
+    """Normalize a mapping or pair-tuple to a sorted, hashable pair-tuple."""
+    items = dict(value)
+    for key in items:
+        if not isinstance(key, str):
+            raise TypeError(f"{name} keys must be strings, got {key!r}")
+    return tuple(sorted((k, _canon_value(v)) for k, v in items.items()))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A fully specified (dataset, partition, model, method, loop) cell.
+
+    ``overrides`` and ``sampler_kwargs`` accept either a dict or a tuple of
+    pairs; they are canonicalized to sorted tuples so equal specs always
+    hash and serialize identically.
+    """
+
+    # -- workload -----------------------------------------------------------
+    dataset: str = "mini_mnist"
+    model: str = "mlp"
+    method: str = "fedtrip"
+    # -- data partition -----------------------------------------------------
+    partition: str = "dirichlet"
+    alpha: Optional[float] = 0.5
+    n_clusters: int = 5
+    samples_per_client: Optional[int] = None
+    feature_skew: bool = False
+    # -- round loop / local optimizer --------------------------------------
+    n_clients: int = 10
+    clients_per_round: int = 4
+    rounds: int = 20
+    batch_size: int = 50
+    local_epochs: int = 1
+    lr: float = 0.05
+    momentum: float = 0.9
+    optimizer: str = "sgdm"
+    eval_every: int = 1
+    eval_batch_size: int = 256
+    seed: int = 0
+    target_accuracy: Optional[float] = None
+    max_grad_norm: Optional[float] = None
+    # -- strategy hyperparameter overrides (e.g. {"mu": 0.8}) ---------------
+    overrides: Pairs = ()
+    # -- client sampling & execution backend --------------------------------
+    sampler: str = "uniform"
+    sampler_kwargs: Pairs = ()
+    n_workers: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "overrides", _as_pairs(self.overrides, "overrides"))
+        object.__setattr__(
+            self, "sampler_kwargs", _as_pairs(self.sampler_kwargs, "sampler_kwargs")
+        )
+
+    # ------------------------------------------------------------------
+    # axes / serialization
+    # ------------------------------------------------------------------
+    def with_axis(self, name: str, value: Any) -> "ExperimentSpec":
+        """Return a copy with one axis changed; unknown names go to the
+        strategy overrides."""
+        if name in self.__dataclass_fields__ and name not in ("overrides", "sampler_kwargs"):
+            return replace(self, **{name: value})
+        pairs = dict(self.overrides)
+        pairs[name] = value
+        return replace(self, overrides=tuple(sorted(pairs.items())))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict; ``from_dict`` inverts it exactly."""
+        d = {f.name: getattr(self, f.name) for f in fields(self)}
+        d["overrides"] = dict(self.overrides)
+        d["sampler_kwargs"] = dict(self.sampler_kwargs)
+        return d
+
+    # Legacy ``ExperimentCell`` spelling, kept for the sweep store.
+    config_dict = to_dict
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Unknown keys raise — a typo'd field silently ignored would change
+        the experiment being run.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown ExperimentSpec fields: {sorted(unknown)}")
+        return cls(**dict(payload))
+
+    def cell_key(self) -> str:
+        """Stable 16-hex-digit content hash of this spec.
+
+        Shared with :meth:`repro.io.persistence.ExperimentStore.key` so a
+        sweep store written by one runner is readable by any other.
+        """
+        return ExperimentStore.key(self.to_dict())
+
+    # ------------------------------------------------------------------
+    # builders — the one place run construction logic lives
+    # ------------------------------------------------------------------
+    def partition_kwargs(self) -> Dict[str, Any]:
+        kwargs: Dict[str, Any] = {}
+        if self.partition == "dirichlet" and self.alpha is not None:
+            kwargs["alpha"] = self.alpha
+        elif self.partition == "orthogonal":
+            kwargs["n_clusters"] = self.n_clusters
+        return kwargs
+
+    def build_data(self):
+        """Materialize the partitioned federated dataset."""
+        return build_federated_data(
+            self.dataset,
+            n_clients=self.n_clients,
+            partition=self.partition,
+            seed=self.seed,
+            samples_per_client=self.samples_per_client,
+            feature_skew=self.feature_skew,
+            **self.partition_kwargs(),
+        )
+
+    def build_config(self) -> FLConfig:
+        return FLConfig(
+            rounds=self.rounds,
+            n_clients=self.n_clients,
+            clients_per_round=self.clients_per_round,
+            batch_size=self.batch_size,
+            local_epochs=self.local_epochs,
+            lr=self.lr,
+            momentum=self.momentum,
+            optimizer=self.optimizer,
+            eval_every=self.eval_every,
+            eval_batch_size=self.eval_batch_size,
+            seed=self.seed,
+            target_accuracy=self.target_accuracy,
+            max_grad_norm=self.max_grad_norm,
+        )
+
+    def build_strategy(self):
+        return build_strategy(
+            self.method, model=self.model, dataset=self.dataset, **dict(self.overrides)
+        )
+
+    def build_sampler(self):
+        return build_sampler(
+            self.sampler,
+            n_clients=self.n_clients,
+            clients_per_round=self.clients_per_round,
+            seed=self.seed,
+            **dict(self.sampler_kwargs),
+        )

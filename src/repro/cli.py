@@ -7,6 +7,14 @@ Commands
 ``partition`` show the client label distribution of a partition (Fig. 4)
 ``profile``   print Table II/III-style dataset & model statistics
 ``theory``    evaluate the Theorem 1 quantities for given hyperparameters
+
+Every training command builds one :class:`~repro.api.spec.ExperimentSpec`
+from its flags and hands it to :func:`~repro.api.engine.run_experiment` —
+the CLI owns no run-construction logic of its own.  Client sampling is
+pluggable via ``--sampler`` (see :mod:`repro.api.registry`), e.g.::
+
+    python -m repro train --method fedtrip --sampler dropout \
+        --sampler-arg dropout=0.2 --target-accuracy 85
 """
 
 from __future__ import annotations
@@ -14,10 +22,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
-from repro import FLConfig, Simulation, build_federated_data, build_strategy
 from repro.analysis import compare_fedprox_fedtrip, expected_xi
+from repro.api import ExperimentSpec, available_samplers, run_experiment
 from repro.data import available_datasets, get_spec, heterogeneity_summary
 from repro.io import save_history
 from repro.models import available_models, build_model, profile_model
@@ -39,41 +47,63 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--local-epochs", type=int, default=1)
     p.add_argument("--lr", type=float, default=0.03)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sampler", default="uniform", choices=available_samplers(),
+                   help="client-selection policy")
+    p.add_argument("--sampler-arg", action="append", default=[], metavar="KEY=VALUE",
+                   help="policy parameter, repeatable (e.g. dropout=0.2)")
+    p.add_argument("--workers", type=int, default=1,
+                   help=">1 trains clients on a thread pool")
 
 
-def _build_data(args):
-    kwargs = {}
-    if args.partition == "dirichlet":
-        kwargs["alpha"] = args.alpha
-    elif args.partition == "orthogonal":
-        kwargs["n_clusters"] = args.clusters
-    return build_federated_data(
-        args.dataset, n_clients=args.clients, partition=args.partition,
-        seed=args.seed, **kwargs,
+def _parse_value(text: str) -> Any:
+    """KEY=VALUE values: JSON first (numbers, lists, booleans), else string."""
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def _parse_kv(pairs: List[str]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"expected KEY=VALUE, got {pair!r}")
+        out[key] = _parse_value(value)
+    return out
+
+
+def _spec_from_args(args, method: Optional[str] = None,
+                    mu: Optional[float] = None) -> ExperimentSpec:
+    return ExperimentSpec(
+        dataset=args.dataset,
+        model=args.model,
+        method=method if method is not None else args.method,
+        partition=args.partition,
+        alpha=args.alpha,
+        n_clusters=args.clusters,
+        n_clients=args.clients,
+        clients_per_round=args.clients_per_round,
+        rounds=args.rounds,
+        batch_size=args.batch_size,
+        local_epochs=args.local_epochs,
+        lr=args.lr,
+        seed=args.seed,
+        target_accuracy=getattr(args, "target_accuracy", None),
+        overrides={} if mu is None else {"mu": mu},
+        sampler=args.sampler,
+        sampler_kwargs=_parse_kv(args.sampler_arg),
+        n_workers=args.workers,
     )
-
-
-def _build_config(args) -> FLConfig:
-    return FLConfig(
-        rounds=args.rounds, n_clients=args.clients,
-        clients_per_round=args.clients_per_round, batch_size=args.batch_size,
-        local_epochs=args.local_epochs, lr=args.lr, seed=args.seed,
-    )
-
-
-def _run_one(args, method: str, mu: Optional[float] = None):
-    overrides = {} if mu is None else {"mu": mu}
-    strategy = build_strategy(method, model=args.model, dataset=args.dataset, **overrides)
-    sim = Simulation(_build_data(args), strategy, _build_config(args),
-                     model_name=args.model)
-    hist = sim.run()
-    sim.close()
-    return hist
 
 
 def cmd_train(args) -> int:
-    hist = _run_one(args, args.method, mu=args.mu)
-    print(f"method={args.method} dataset={args.dataset} model={args.model}")
+    spec = _spec_from_args(args, mu=args.mu)
+    hist = run_experiment(spec)
+    print(f"method={spec.method} dataset={spec.dataset} model={spec.model} "
+          f"sampler={spec.sampler}")
+    if hist.stop_reason:
+        print(f"stopped early after {len(hist)} rounds: {hist.stop_reason}")
     print(f"best accuracy : {hist.best_accuracy():.2f}%")
     if args.target is not None:
         print(f"rounds to {args.target}%: {hist.rounds_to_accuracy(args.target)}")
@@ -88,7 +118,7 @@ def cmd_train(args) -> int:
 def cmd_compare(args) -> int:
     rows = []
     for method in args.methods:
-        hist = _run_one(args, method)
+        hist = run_experiment(_spec_from_args(args, method=method))
         r = hist.rounds_to_accuracy(args.target) if args.target else None
         rows.append((method, hist.best_accuracy(),
                      hist.final_accuracy_stats(last_k=5)["mean"],
@@ -102,7 +132,7 @@ def cmd_compare(args) -> int:
 
 
 def cmd_partition(args) -> int:
-    data = _build_data(args)
+    data = _spec_from_args(args, method="fedavg").build_data()
     counts = data.label_counts()
     print(f"{args.partition} partition of {args.dataset} over {args.clients} clients")
     for k, row in enumerate(counts):
@@ -139,7 +169,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p)
     p.add_argument("--method", default="fedtrip")
     p.add_argument("--mu", type=float, default=None)
-    p.add_argument("--target", type=float, default=None)
+    p.add_argument("--target", type=float, default=None,
+                   help="report rounds-to-target-accuracy (no early stop)")
+    p.add_argument("--target-accuracy", type=float, default=None, dest="target_accuracy",
+                   help="stop training once this test accuracy %% is reached")
     p.add_argument("--out", default=None, help="save history JSON here")
     p.set_defaults(func=cmd_train)
 

@@ -1,16 +1,20 @@
 """Declarative experiment grids.
 
-The benchmark harness hand-rolls its case lists; downstream users sweeping
-their own questions ("mu x heterogeneity x seed") want a first-class grid
-runner with disk caching.  A sweep is a cross product of named axes over a
-base cell; completed cells are cached in an
-:class:`~repro.io.persistence.ExperimentStore` keyed by the cell's config
-hash, so re-running a half-finished sweep only trains the missing cells.
+A sweep is a cross product of named axes over a base
+:class:`~repro.api.spec.ExperimentSpec`; completed cells are cached in an
+:class:`~repro.io.persistence.ExperimentStore` keyed by the cell's stable
+:meth:`~repro.api.spec.ExperimentSpec.cell_key`, so re-running a
+half-finished sweep only trains the missing cells.  Cell execution goes
+through the one front door, :func:`repro.api.run_experiment` — this module
+owns *grid* logic only.
+
+``ExperimentCell`` is the sweep-era name for ``ExperimentSpec`` and is kept
+as an alias.
 
 Example::
 
     spec = SweepSpec(
-        base=ExperimentCell(dataset="mini_mnist", model="mlp", method="fedtrip",
+        base=ExperimentSpec(dataset="mini_mnist", model="mlp", method="fedtrip",
                             rounds=20, lr=0.05),
         axes={"mu": [0.1, 0.4, 0.8], "seed": [0, 1, 2]},
     )
@@ -22,63 +26,27 @@ Example::
 from __future__ import annotations
 
 import itertools
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
-from repro.algorithms import build_strategy
-from repro.data import build_federated_data
-from repro.fl import FLConfig, Simulation
+from repro.api import ExperimentSpec, run_experiment
 from repro.fl.history import History
 from repro.io import ExperimentStore
 
 __all__ = ["ExperimentCell", "SweepSpec", "SweepRunner", "run_cell"]
 
-
-@dataclass(frozen=True)
-class ExperimentCell:
-    """One fully specified training run."""
-
-    dataset: str = "mini_mnist"
-    model: str = "mlp"
-    method: str = "fedtrip"
-    partition: str = "dirichlet"
-    alpha: float = 0.5
-    n_clusters: int = 5
-    n_clients: int = 10
-    clients_per_round: int = 4
-    rounds: int = 20
-    batch_size: int = 50
-    local_epochs: int = 1
-    lr: float = 0.05
-    seed: int = 0
-    samples_per_client: Optional[int] = None
-    #: hyperparameter overrides for the strategy (e.g. {"mu": 0.8});
-    #: stored as a tuple of pairs so the cell stays hashable.
-    overrides: tuple = ()
-
-    def with_axis(self, name: str, value: Any) -> "ExperimentCell":
-        """Return a copy with one axis changed; unknown names go to the
-        strategy overrides."""
-        if name in self.__dataclass_fields__ and name != "overrides":
-            return replace(self, **{name: value})
-        pairs = dict(self.overrides)
-        pairs[name] = value
-        return replace(self, overrides=tuple(sorted(pairs.items())))
-
-    def config_dict(self) -> Dict[str, Any]:
-        d = asdict(self)
-        d["overrides"] = dict(self.overrides)
-        return d
+#: Backwards-compatible alias: one fully specified training run.
+ExperimentCell = ExperimentSpec
 
 
 @dataclass
 class SweepSpec:
     """A base cell plus named axes to cross."""
 
-    base: ExperimentCell
+    base: ExperimentSpec
     axes: Dict[str, List[Any]] = field(default_factory=dict)
 
-    def cells(self) -> Iterator[ExperimentCell]:
+    def cells(self) -> Iterator[ExperimentSpec]:
         if not self.axes:
             yield self.base
             return
@@ -96,36 +64,9 @@ class SweepSpec:
         return n
 
 
-def run_cell(cell: ExperimentCell) -> History:
+def run_cell(cell: ExperimentSpec) -> History:
     """Train one cell from scratch and return its history."""
-    partition_kwargs: Dict[str, Any] = {}
-    if cell.partition == "dirichlet":
-        partition_kwargs["alpha"] = cell.alpha
-    elif cell.partition == "orthogonal":
-        partition_kwargs["n_clusters"] = cell.n_clusters
-    data = build_federated_data(
-        cell.dataset,
-        n_clients=cell.n_clients,
-        partition=cell.partition,
-        seed=cell.seed,
-        samples_per_client=cell.samples_per_client,
-        **partition_kwargs,
-    )
-    config = FLConfig(
-        rounds=cell.rounds,
-        n_clients=cell.n_clients,
-        clients_per_round=cell.clients_per_round,
-        batch_size=cell.batch_size,
-        local_epochs=cell.local_epochs,
-        lr=cell.lr,
-        seed=cell.seed,
-    )
-    strategy = build_strategy(cell.method, model=cell.model, dataset=cell.dataset,
-                              **dict(cell.overrides))
-    sim = Simulation(data, strategy, config, model_name=cell.model)
-    history = sim.run()
-    sim.close()
-    return history
+    return run_experiment(cell)
 
 
 class SweepRunner:
@@ -134,20 +75,17 @@ class SweepRunner:
     def __init__(self, store_dir: Optional[str] = None) -> None:
         self.store = ExperimentStore(store_dir) if store_dir else None
 
-    def _key(self, cell: ExperimentCell) -> str:
-        return ExperimentStore.key(cell.config_dict())
-
     def run(self, spec: SweepSpec, progress: bool = False) -> Dict[str, History]:
-        """Run every cell (cache-aware); returns ``{key: History}``."""
+        """Run every cell (cache-aware); returns ``{cell_key: History}``."""
         out: Dict[str, History] = {}
         for i, cell in enumerate(spec.cells()):
-            key = self._key(cell)
+            key = cell.cell_key()
             if self.store is not None and self.store.has(key):
                 out[key] = self.store.get(key)
                 continue
-            history = run_cell(cell)
+            history = run_experiment(cell)
             if self.store is not None:
-                self.store.put(key, history, cell.config_dict())
+                self.store.put(key, history, cell.to_dict())
             out[key] = history
             if progress:  # pragma: no cover - cosmetic
                 print(f"[{i + 1}/{len(spec)}] {cell.method} done")
@@ -164,10 +102,10 @@ class SweepRunner:
         results = self.run(spec)
         rows: List[Dict[str, Any]] = []
         for cell in spec.cells():
-            history = results[self._key(cell)]
+            history = results[cell.cell_key()]
             fn = getattr(history, metric)
             value = fn(**metric_kwargs) if metric_kwargs else fn()
-            row = {name: dict(cell.config_dict())[name] if name in cell.__dataclass_fields__
+            row = {name: cell.to_dict()[name] if name in cell.__dataclass_fields__
                    else dict(cell.overrides).get(name)
                    for name in spec.axes}
             row[metric] = value

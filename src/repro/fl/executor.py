@@ -18,7 +18,7 @@ from __future__ import annotations
 import queue
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from repro.fl.types import ClientUpdate
 from repro.models.fedmodel import FedModel
@@ -50,6 +50,12 @@ class SerialExecutor:
     def n_workers(self) -> int:
         return 1
 
+    def borrow_worker(self) -> Optional[WorkerContext]:
+        """The resident worker context, for out-of-band single-threaded work
+        (global evaluation, preamble passes).  Serial execution has exactly
+        one; callers must not hold it across ``run()`` calls."""
+        return self._worker
+
     def run(self, tasks: List[ClientTask]) -> List[ClientUpdate]:
         return [task(self._worker) for task in tasks]
 
@@ -72,6 +78,11 @@ class ThreadedExecutor:
     @property
     def n_workers(self) -> int:
         return self._n_workers
+
+    def borrow_worker(self) -> Optional[WorkerContext]:
+        """No single resident worker exists in the pool; callers needing a
+        model for out-of-band work must build their own replica."""
+        return None
 
     def _run_one(self, task: ClientTask) -> ClientUpdate:
         ctx = self._contexts.get()

@@ -23,9 +23,15 @@ __all__ = ["History"]
 
 @dataclass
 class History:
-    """Ordered per-round records plus derived metrics."""
+    """Ordered per-round records plus derived metrics.
+
+    ``stop_reason`` is set by the engine when training ends before the
+    configured round count (e.g. the ``EarlyStopping`` callback hit
+    ``target_accuracy``); ``None`` means the loop ran to completion.
+    """
 
     records: List[RoundRecord] = field(default_factory=list)
+    stop_reason: Optional[str] = None
 
     def append(self, record: RoundRecord) -> None:
         if self.records and record.round_idx <= self.records[-1].round_idx:
@@ -131,5 +137,8 @@ class History:
             float(self.records[-1].cumulative_comm_bytes) / (1024**2) if self.records else 0.0
         )
 
-    def to_dict(self) -> Dict[str, list]:
-        return {"records": [r.to_dict() for r in self.records]}
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "records": [r.to_dict() for r in self.records],
+            "stop_reason": self.stop_reason,
+        }

@@ -1,268 +1,36 @@
-"""The synchronous FL round loop (Algorithm 1's outer structure).
+"""Compatibility shim: the classic ``Simulation`` entry point.
 
-Each round:
+The round loop itself now lives in :class:`repro.api.engine.Engine`, which
+decomposes it into named phases (``sample -> broadcast -> preamble ->
+local_train -> aggregate -> evaluate -> record``) and drives
+:class:`repro.api.callbacks.Callback` hooks between them.  ``Simulation``
+is a direct subclass kept so the historical imperative API —
 
-1. sample K clients (line 2);
-2. optional preamble phase — FedDANE/MimeLite collect full-batch gradients at
-   the global model and the server combines them;
-3. every selected client trains locally from the global weights (lines 3-10),
-   executed through a pluggable serial/threaded executor;
-4. the server aggregates (line 12) and the strategy post-processes;
-5. the global model is evaluated on the held-out test set and a
-   :class:`~repro.fl.types.RoundRecord` is appended to the history, including
-   cumulative computation (FLOPs) and communication (bytes) — the quantities
-   Tables IV and V report.
+    sim = Simulation(data, strategy, config, model_name="cnn")
+    history = sim.run()
+    sim.close()
+
+— keeps working unchanged (constructor signature, ``run_round()``,
+``update_observers``, ``evaluate_global()``, ``global_model()``).  New code
+should prefer the declarative front door::
+
+    from repro.api import ExperimentSpec, run_experiment
+    history = run_experiment(ExperimentSpec(dataset="mini_mnist", model="cnn"))
+
+Both paths execute the same engine code, so a fixed seed produces identical
+round records either way (a property the test suite asserts).
 """
 
 from __future__ import annotations
 
-import time
-from typing import Callable, Dict, List, Optional
-
-import numpy as np
-
-from repro.algorithms.base import ClientRoundContext, Strategy
-from repro.data.federated import FederatedData
-from repro.fl.client import Client, run_client_round
-from repro.fl.evaluation import evaluate_model, full_batch_gradient
-from repro.fl.executor import SerialExecutor, ThreadedExecutor, WorkerContext
-from repro.fl.history import History
-from repro.fl.sampling import UniformSampler
-from repro.fl.server import Server
-from repro.fl.types import FLConfig, RoundRecord
-from repro.models import build_model, profile_model
-from repro.models.fedmodel import FedModel
-from repro.nn.losses import CrossEntropyLoss
-from repro.optim import SGD, Adam
-from repro.utils.logging import get_logger
-from repro.utils.rng import RngStream
+from repro.api.engine import Engine, make_optimizer
 
 __all__ = ["Simulation", "make_optimizer"]
 
-_log = get_logger("fl.simulation")
 
+class Simulation(Engine):
+    """Imperative alias of :class:`repro.api.engine.Engine`.
 
-def make_optimizer(name: str, params, config: FLConfig):
-    """Build the local optimizer the paper pairs with each method."""
-    key = name.lower()
-    if key == "sgdm":
-        return SGD(params, lr=config.lr, momentum=config.momentum)
-    if key == "sgd":
-        return SGD(params, lr=config.lr, momentum=0.0)
-    if key == "adam":
-        return Adam(params, lr=config.lr)
-    raise ValueError(f"unknown optimizer {name!r}")
-
-
-class Simulation:
-    """Wire a dataset, a model architecture and a strategy into a round loop.
-
-    Parameters
-    ----------
-    data:
-        Partitioned federated dataset.
-    strategy:
-        Algorithm instance (see :mod:`repro.algorithms`).
-    config:
-        Round/optimizer configuration.
-    model_name:
-        Registry key ("mlp" / "cnn" / "alexnet"); ignored if ``model_fn``.
-    model_fn:
-        Custom factory ``() -> FedModel``, overriding the registry.
-    sampler:
-        Client-selection policy; defaults to the paper's uniform K-of-N.
-    n_workers:
-        >1 enables the threaded executor (strategies with a preamble phase
-        require serial execution and will reject it).
+    Accepts exactly the engine's constructor arguments; see ``Engine`` for
+    the parameter reference and the phase/callback lifecycle.
     """
-
-    def __init__(
-        self,
-        data: FederatedData,
-        strategy: Strategy,
-        config: FLConfig,
-        model_name: str = "cnn",
-        model_fn: Optional[Callable[[], FedModel]] = None,
-        sampler=None,
-        n_workers: int = 1,
-    ) -> None:
-        if config.n_clients != data.n_clients:
-            raise ValueError(
-                f"config.n_clients={config.n_clients} but data has {data.n_clients} shards"
-            )
-        self.data = data
-        self.strategy = strategy
-        self.config = config
-        root = RngStream(config.seed)
-        if model_fn is None:
-            spec = data.spec
-
-            def model_fn() -> FedModel:
-                # A fresh child generator per call -> every replica gets the
-                # same deterministic initial weights.
-                return build_model(
-                    model_name,
-                    spec.input_shape,
-                    spec.num_classes,
-                    rng=root.child("model-init").generator,
-                )
-
-        self._model_fn = model_fn
-        canonical = model_fn()
-        self.profile = profile_model(canonical)
-        self.server = Server(canonical.get_weights(), strategy, config)
-        self.clients: List[Client] = [
-            Client(k, data.client_dataset(k), seed=config.seed) for k in range(data.n_clients)
-        ]
-        for c in self.clients:
-            c.state = strategy.init_client_state(c.id)
-        self.sampler = sampler if sampler is not None else UniformSampler(
-            config.n_clients, config.clients_per_round, seed=config.seed
-        )
-        opt_name = strategy.local_optimizer or config.optimizer
-
-        def make_worker() -> WorkerContext:
-            model = model_fn()
-            frozen = model_fn()
-            frozen.eval()
-            optimizer = make_optimizer(opt_name, model.parameters(), config)
-            return WorkerContext(model, frozen, optimizer, CrossEntropyLoss())
-
-        if n_workers <= 1:
-            self.executor = SerialExecutor(make_worker)
-        else:
-            if strategy.needs_preamble:
-                raise ValueError(
-                    f"{strategy.name} uses a preamble phase; run with n_workers=1"
-                )
-            self.executor = ThreadedExecutor(make_worker, n_workers)
-        self.history = History()
-        self._preamble_worker = None  # lazily built serial worker for preambles
-        # Observers called with (updates, global_weights_before_aggregation)
-        # every round — used by drift diagnostics and custom metrics.
-        self.update_observers: List = []
-
-    # ------------------------------------------------------------------
-    def _build_ctx(self, worker: WorkerContext, client: Client, round_idx: int,
-                   broadcast: Dict) -> ClientRoundContext:
-        worker.model.set_weights(self.server.weights)
-        return ClientRoundContext(
-            client_id=client.id,
-            round_idx=round_idx,
-            global_weights=self.server.weights,
-            model=worker.model,
-            frozen=worker.frozen,
-            optimizer=worker.optimizer,
-            criterion=worker.criterion,
-            config=self.config,
-            state=client.state,
-            rng=client.round_rng(round_idx),
-            n_samples=client.num_samples,
-            fp_flops_per_sample=float(self.profile.forward_flops),
-            server_broadcast=dict(broadcast),
-        )
-
-    def _run_preamble(self, selected: List[int], round_idx: int, broadcast: Dict) -> Dict[int, Dict]:
-        """Phase 2: full-batch gradients at the global model (FedDANE/MimeLite)."""
-        if self._preamble_worker is None:
-            # Reuse the serial executor's worker when possible.
-            if isinstance(self.executor, SerialExecutor):
-                self._preamble_worker = self.executor._worker
-            else:  # pragma: no cover - preamble forces serial execution
-                raise RuntimeError("preamble phase requires serial execution")
-        worker = self._preamble_worker
-        payloads: Dict[int, Dict] = {}
-        self._preamble_flops: Dict[int, float] = {}
-        for k in selected:
-            client = self.clients[k]
-            ctx = self._build_ctx(worker, client, round_idx, broadcast)
-            grad = full_batch_gradient(worker.model, client.dataset, self.config.eval_batch_size)
-            payloads[k] = self.strategy.client_preamble(ctx, grad)
-            # full-batch grad = one fwd+bwd pass over the shard (3x forward).
-            self._preamble_flops[k] = 3.0 * client.num_samples * self.profile.forward_flops
-        return payloads
-
-    # ------------------------------------------------------------------
-    def run_round(self) -> RoundRecord:
-        t0 = time.perf_counter()
-        round_idx = self.server.round_idx
-        selected = self.sampler.select(round_idx)
-        broadcast = self.server.broadcast_payload()
-
-        preamble_flops: Dict[int, float] = {}
-        if self.strategy.needs_preamble:
-            payloads = self._run_preamble(selected, round_idx, broadcast)
-            self.server.run_preamble(payloads)
-            broadcast = self.server.broadcast_payload()  # may now include agg. grad
-            preamble_flops = self._preamble_flops
-
-        def make_task(client: Client):
-            def task(worker: WorkerContext):
-                ctx = self._build_ctx(worker, client, round_idx, broadcast)
-                return run_client_round(client, self.strategy, ctx)
-
-            return task
-
-        updates = self.executor.run([make_task(self.clients[k]) for k in selected])
-        for upd in updates:
-            upd.flops += preamble_flops.get(upd.client_id, 0.0)
-
-        for observer in self.update_observers:
-            observer(updates, self.server.weights)
-        self.server.apply_updates(updates)
-
-        # -- bookkeeping ------------------------------------------------
-        round_flops = sum(u.flops for u in updates)
-        round_comm = sum(u.comm_bytes for u in updates)
-        prev = self.history.records[-1] if self.history.records else None
-        cum_flops = (prev.cumulative_flops if prev else 0.0) + round_flops
-        cum_comm = (prev.cumulative_comm_bytes if prev else 0.0) + round_comm
-
-        acc = loss = None
-        evaluate = (
-            round_idx % self.config.eval_every == 0 or round_idx == self.config.rounds - 1
-        )
-        if evaluate:
-            acc, loss = self.evaluate_global()
-        record = RoundRecord(
-            round_idx=round_idx,
-            selected=selected,
-            test_accuracy=acc,
-            test_loss=loss,
-            mean_train_loss=float(np.mean([u.train_loss for u in updates])),
-            cumulative_flops=cum_flops,
-            cumulative_comm_bytes=cum_comm,
-            wall_seconds=time.perf_counter() - t0,
-        )
-        self.history.append(record)
-        return record
-
-    def run(self, progress: bool = False) -> History:
-        """Run all configured rounds and return the history."""
-        for _ in range(self.config.rounds - len(self.history)):
-            record = self.run_round()
-            if progress and record.test_accuracy is not None:
-                _log.info(
-                    "[%s] round %d acc=%.2f%% loss=%.4f",
-                    self.strategy.name,
-                    record.round_idx,
-                    record.test_accuracy,
-                    record.test_loss,
-                )
-        return self.history
-
-    def evaluate_global(self):
-        """Accuracy/loss of the current global weights on the test split."""
-        worker = getattr(self.executor, "_worker", None)
-        model = worker.model if worker is not None else self._model_fn()
-        model.set_weights(self.server.weights)
-        return evaluate_model(model, self.data.test, self.config.eval_batch_size)
-
-    def global_model(self) -> FedModel:
-        """A fresh model instance loaded with the current global weights."""
-        model = self._model_fn()
-        model.set_weights(self.server.weights)
-        return model
-
-    def close(self) -> None:
-        self.executor.close()

@@ -29,7 +29,10 @@ class FLConfig:
     eval_every: int = 1              # evaluate global model every N rounds
     eval_batch_size: int = 256
     seed: int = 0
-    target_accuracy: Optional[float] = None   # early metadata only; loop never stops early
+    #: stop training once the evaluated test accuracy reaches this value
+    #: (percent); enforced by the engine's EarlyStopping callback, which
+    #: records the reason on History.stop_reason.  None = run all rounds.
+    target_accuracy: Optional[float] = None
     track_costs: bool = True
     #: optional global L2 gradient clipping applied after each strategy's
     #: gradient modification — a stability lever for aggressive mu/xi/lr

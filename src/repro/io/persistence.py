@@ -40,7 +40,7 @@ def load_history(path: str) -> History:
     """Read a history written by :func:`save_history`."""
     with open(path) as fh:
         payload = json.load(fh)
-    hist = History()
+    hist = History(stop_reason=payload.get("stop_reason"))
     for rec in payload["records"]:
         hist.append(
             RoundRecord(

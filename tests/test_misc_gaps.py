@@ -73,7 +73,8 @@ class TestHistorySerialization:
         h = History()
         h.append(RoundRecord(0, [1, 2], 50.0, 0.5, 1.0, 1e9, 1e6, 0.2))
         d = h.to_dict()
-        assert list(d) == ["records"]
+        assert list(d) == ["records", "stop_reason"]
+        assert d["stop_reason"] is None
         rec = d["records"][0]
         assert rec["round"] == 0 and rec["selected"] == [1, 2]
 
