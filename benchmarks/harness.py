@@ -81,6 +81,8 @@ def run_case(
     seed: int = 0,
     samples_per_client: Optional[int] = None,
     strategy_overrides: Optional[dict] = None,
+    executor: str = "auto",
+    n_workers: int = 1,
 ) -> History:
     """Train one (case, method) cell, memoized for the whole pytest session.
 
@@ -97,6 +99,7 @@ def run_case(
         batch_size=batch_size, local_epochs=local_epochs, lr=lr, seed=seed,
         samples_per_client=samples_per_client,
         overrides=strategy_overrides or {},
+        executor=executor, n_workers=n_workers,
     )
     key = spec.cell_key()
     if key not in _RUN_CACHE:

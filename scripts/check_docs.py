@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Docs health check, run by the CI docs job and ``tests/test_docs.py``.
+
+Two checks, stdlib only:
+
+1. **Intra-repo Markdown links resolve.**  Every relative link target in
+   every tracked ``*.md`` file must exist; ``file.md#anchor`` links must
+   also match a heading in the target file (GitHub slug rules, simplified).
+   Links inside fenced code blocks and external (``scheme://`` / ``mailto:``)
+   links are ignored.
+2. **The README quickstart runs.**  The first ``python`` code block of
+   ``README.md`` is executed (with ``src/`` on the path) so the 60-second
+   quickstart can never rot.
+
+Exit code 0 = healthy; failures are listed one per line.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def _strip_fences(text: str) -> str:
+    """Blank out fenced code blocks so code examples are never parsed."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            out.append("")
+        else:
+            out.append("" if in_fence else line)
+    return "\n".join(out)
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's anchor slug, simplified: lowercase, drop punctuation,
+    spaces become hyphens (inline code ticks are stripped first)."""
+    heading = heading.replace("`", "").strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return re.sub(r"\s+", "-", heading)
+
+
+def _anchors(md_path: Path) -> set:
+    text = _strip_fences(md_path.read_text(encoding="utf-8"))
+    return {
+        _github_slug(m.group(1))
+        for line in text.splitlines()
+        if (m := HEADING_RE.match(line))
+    }
+
+
+def md_files() -> list:
+    """Every tracked-looking Markdown file (dot-directories excluded);
+    the single source of truth for what the docs job and the tier-1 docs
+    tests both check."""
+    return sorted(
+        p for p in REPO.rglob("*.md")
+        if not any(part.startswith(".") for part in p.relative_to(REPO).parts)
+    )
+
+
+def check_links(md_files) -> list:
+    errors = []
+    for md in md_files:
+        text = _strip_fences(md.read_text(encoding="utf-8"))
+        for target in LINK_RE.findall(text):
+            if "://" in target or target.startswith(("mailto:", "#")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            resolved = (md.parent / path_part).resolve()
+            rel = md.relative_to(REPO)
+            if not resolved.exists():
+                errors.append(f"{rel}: broken link -> {target}")
+            elif anchor and resolved.suffix == ".md":
+                if _github_slug(anchor) not in _anchors(resolved):
+                    errors.append(f"{rel}: missing anchor -> {target}")
+    return errors
+
+
+def check_quickstart(readme: Path) -> list:
+    text = readme.read_text(encoding="utf-8")
+    m = re.search(r"```python\n(.*?)```", text, flags=re.S)
+    if not m:
+        return ["README.md: no ```python quickstart block found"]
+    snippet = m.group(1)
+    sys.path.insert(0, str(REPO / "src"))
+    try:
+        exec(compile(snippet, "README.md#quickstart", "exec"), {"__name__": "__quickstart__"})
+    except Exception as exc:  # noqa: BLE001 - report, don't crash
+        return [f"README.md quickstart failed: {type(exc).__name__}: {exc}"]
+    return []
+
+
+def main() -> int:
+    corpus = md_files()
+    errors = check_links(corpus)
+    errors += check_quickstart(REPO / "README.md")
+    for err in errors:
+        print(err)
+    if not errors:
+        print(f"docs ok: {len(corpus)} markdown files, quickstart ran")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,8 +21,11 @@ Quickstart::
 
 from repro.api.spec import ExperimentSpec
 from repro.api.registry import (
+    available_executors,
     available_samplers,
+    build_executor,
     build_sampler,
+    register_executor,
     register_sampler,
 )
 from repro.api.callbacks import (
@@ -46,4 +49,7 @@ __all__ = [
     "available_samplers",
     "build_sampler",
     "register_sampler",
+    "available_executors",
+    "build_executor",
+    "register_executor",
 ]

@@ -37,37 +37,32 @@ import numpy as np
 
 from repro.algorithms.base import ClientRoundContext, Strategy
 from repro.data.federated import FederatedData
-from repro.fl.client import Client, run_client_round
+from repro.fl.client import Client
 from repro.fl.evaluation import evaluate_model, full_batch_gradient
-from repro.fl.executor import SerialExecutor, ThreadedExecutor, WorkerContext
+from repro.fl.executor import (
+    ClientTaskSpec,
+    TaskRuntime,
+    WorkerContext,
+    build_round_context,
+    make_optimizer,
+)
 from repro.fl.history import History
+from repro.fl.process_executor import ProcessWorkerSpec
 from repro.fl.sampling import UniformSampler
 from repro.fl.server import Server
 from repro.fl.types import ClientUpdate, FLConfig, RoundRecord
 from repro.models import build_model, profile_model
 from repro.models.fedmodel import FedModel
 from repro.nn.losses import CrossEntropyLoss
-from repro.optim import SGD, Adam
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngStream
 
 from repro.api.callbacks import Callback, EarlyStopping, ProgressLogger
+from repro.api.registry import build_executor
 
 __all__ = ["Engine", "run_experiment", "make_optimizer"]
 
 _log = get_logger("api.engine")
-
-
-def make_optimizer(name: str, params, config: FLConfig):
-    """Build the local optimizer the paper pairs with each method."""
-    key = name.lower()
-    if key == "sgdm":
-        return SGD(params, lr=config.lr, momentum=config.momentum)
-    if key == "sgd":
-        return SGD(params, lr=config.lr, momentum=0.0)
-    if key == "adam":
-        return Adam(params, lr=config.lr)
-    raise ValueError(f"unknown optimizer {name!r}")
 
 
 class Engine:
@@ -88,8 +83,19 @@ class Engine:
     sampler:
         Client-selection policy; defaults to the paper's uniform K-of-N.
     n_workers:
-        >1 enables the threaded executor (strategies with a preamble phase
-        require serial execution and will reject it).
+        Worker count handed to the execution backend.
+    executor:
+        Registry name of the execution backend ("serial" / "threaded" /
+        "process"; see :mod:`repro.api.registry`).  The default "auto"
+        keeps the historical behaviour: serial at ``n_workers<=1``,
+        threaded above.  Pooled backends reject strategies with a preamble
+        phase, and the process backend additionally requires a
+        registry-built model (no custom ``model_fn`` closure).
+    client_latency_s:
+        Optional per-client wall-clock latency (seconds) charged inside
+        every client task, emulating device/network time so scheduling
+        benchmarks can measure how well a backend overlaps clients.  Zero
+        (the default) disables it; it never affects the trained numbers.
     callbacks:
         :class:`~repro.api.callbacks.Callback` instances observing the loop.
         If ``config.target_accuracy`` is set and no
@@ -106,6 +112,8 @@ class Engine:
         model_fn: Optional[Callable[[], FedModel]] = None,
         sampler=None,
         n_workers: int = 1,
+        executor: str = "auto",
+        client_latency_s: float = 0.0,
         callbacks: Iterable[Callback] = (),
     ) -> None:
         if config.n_clients != data.n_clients:
@@ -115,7 +123,10 @@ class Engine:
         self.data = data
         self.strategy = strategy
         self.config = config
+        self.client_latency_s = float(client_latency_s)
         root = RngStream(config.seed)
+        self._custom_model_fn = model_fn is not None
+        self._model_name = model_name
         if model_fn is None:
             spec = data.spec
 
@@ -142,6 +153,7 @@ class Engine:
             config.n_clients, config.clients_per_round, seed=config.seed
         )
         opt_name = strategy.local_optimizer or config.optimizer
+        self._opt_name = opt_name
 
         def make_worker() -> WorkerContext:
             model = model_fn()
@@ -150,14 +162,15 @@ class Engine:
             optimizer = make_optimizer(opt_name, model.parameters(), config)
             return WorkerContext(model, frozen, optimizer, CrossEntropyLoss())
 
-        if n_workers <= 1:
-            self.executor = SerialExecutor(make_worker)
-        else:
-            if strategy.needs_preamble:
-                raise ValueError(
-                    f"{strategy.name} uses a preamble phase; run with n_workers=1"
-                )
-            self.executor = ThreadedExecutor(make_worker, n_workers)
+        self.make_worker = make_worker
+        self.runtime = TaskRuntime(
+            clients=self.clients,
+            strategy=strategy,
+            config=config,
+            fp_flops=float(self.profile.forward_flops),
+            global_weights=self.server.weights,
+        )
+        self.executor = build_executor(executor, engine=self, n_workers=n_workers)
         self.history = History()
         self.callbacks: List[Callback] = list(callbacks)
         if config.target_accuracy is not None and not any(
@@ -194,25 +207,34 @@ class Engine:
             getattr(cb, hook)(self, *args)
 
     # ------------------------------------------------------------------
+    # executor plumbing
+    # ------------------------------------------------------------------
+    def process_worker_spec(self) -> ProcessWorkerSpec:
+        """The picklable recipe a :class:`ProcessExecutor` pool worker uses
+        to rebuild model, optimizer and clients in its own process."""
+        if self._custom_model_fn:
+            raise ValueError(
+                "the process executor rebuilds models from the registry and "
+                "cannot ship a custom model_fn closure across processes; use "
+                "a registered model name or executor='serial'/'threaded'"
+            )
+        return ProcessWorkerSpec(
+            data=self.data,
+            strategy=self.strategy,
+            config=self.config,
+            model_name=self._model_name,
+            opt_name=self._opt_name,
+            fp_flops=float(self.profile.forward_flops),
+        )
+
+    # ------------------------------------------------------------------
     # phases
     # ------------------------------------------------------------------
     def _build_ctx(self, worker: WorkerContext, client: Client, round_idx: int,
                    broadcast: Dict) -> ClientRoundContext:
-        worker.model.set_weights(self.server.weights)
-        return ClientRoundContext(
-            client_id=client.id,
-            round_idx=round_idx,
-            global_weights=self.server.weights,
-            model=worker.model,
-            frozen=worker.frozen,
-            optimizer=worker.optimizer,
-            criterion=worker.criterion,
-            config=self.config,
-            state=client.state,
-            rng=client.round_rng(round_idx),
-            n_samples=client.num_samples,
-            fp_flops_per_sample=float(self.profile.forward_flops),
-            server_broadcast=dict(broadcast),
+        self.runtime.global_weights = self.server.weights
+        return build_round_context(
+            worker, self.runtime, client.id, round_idx, broadcast, client.state
         )
 
     def _phase_sample(self, round_idx: int) -> List[int]:
@@ -255,19 +277,27 @@ class Engine:
         broadcast: Dict,
         preamble_flops: Dict[int, float],
     ) -> List[ClientUpdate]:
-        """Phase 4: train the selected clients through the executor."""
-
-        def make_task(client: Client):
-            def task(worker: WorkerContext):
-                ctx = self._build_ctx(worker, client, round_idx, broadcast)
-                return run_client_round(client, self.strategy, ctx)
-
-            return task
-
-        updates = self.executor.run([make_task(self.clients[k]) for k in selected])
-        for upd in updates:
-            upd.flops += preamble_flops.get(upd.client_id, 0.0)
-            self._fire("on_client_update", round_idx, upd)
+        """Phase 4: broadcast the global weights + server payload to the
+        backend once, then train the selected clients as picklable task
+        payloads."""
+        self.executor.broadcast(self.server.weights, broadcast)
+        tasks = [
+            ClientTaskSpec(
+                client_id=k,
+                round_idx=round_idx,
+                state=self.clients[k].state,
+                preamble_flops=preamble_flops.get(k, 0.0),
+                emulate_seconds=self.client_latency_s,
+            )
+            for k in selected
+        ]
+        updates: List[ClientUpdate] = []
+        for result in self.executor.run(tasks):
+            # Pooled backends trained on a copy of the client state; adopt
+            # the returned dict so strategy state survives the round trip.
+            self.clients[result.update.client_id].state = result.state
+            updates.append(result.update)
+            self._fire("on_client_update", round_idx, result.update)
         return updates
 
     def _phase_aggregate(self, round_idx: int, updates: List[ClientUpdate]) -> None:
@@ -391,6 +421,7 @@ def run_experiment(
         model_name=spec.model,
         sampler=spec.build_sampler(),
         n_workers=spec.n_workers,
+        executor=spec.executor,
         callbacks=callbacks,
     )
     try:

@@ -1,11 +1,13 @@
-"""Client-sampler registry: name -> factory.
+"""Declarative registries: client samplers and execution backends.
 
-The samplers in :mod:`repro.fl.sampling` and :mod:`repro.fl.availability`
-have heterogeneous constructors (a weighted sampler wants a weight vector, a
-diurnal sampler wants a phase count).  The registry normalizes them behind
-one factory signature so a sampler can be chosen declaratively — from an
-:class:`~repro.api.spec.ExperimentSpec` field or a ``--sampler`` CLI flag —
-instead of being hardwired to :class:`~repro.fl.sampling.UniformSampler`:
+Both registries exist for the same reason: heterogeneous constructors hidden
+behind one factory signature, so a policy can be chosen from an
+:class:`~repro.api.spec.ExperimentSpec` field or a CLI flag instead of being
+hardwired.
+
+**Samplers** (:mod:`repro.fl.sampling` / :mod:`repro.fl.availability`) —
+a weighted sampler wants a weight vector, a diurnal sampler wants a phase
+count::
 
     sampler = build_sampler("dropout", n_clients=10, clients_per_round=4,
                             seed=0, dropout=0.2)
@@ -13,6 +15,19 @@ instead of being hardwired to :class:`~repro.fl.sampling.UniformSampler`:
 Third-party policies plug in with :func:`register_sampler`; the only contract
 is ``select(round_idx) -> List[int]`` plus ``n_clients`` /
 ``clients_per_round`` / ``participation_rate`` attributes.
+
+**Executors** (:mod:`repro.fl.executor` / :mod:`repro.fl.process_executor`) —
+resolved from the spec's ``executor`` field or the ``--executor`` CLI flag::
+
+    executor = build_executor("process", engine=engine, n_workers=4)
+
+An executor factory receives the live :class:`~repro.api.engine.Engine`
+(factories read ``engine.make_worker``, ``engine.runtime``, and for the
+process backend the picklable ``engine.process_worker_spec()``) plus the
+requested worker count, and returns an object with the executor contract:
+``run(tasks) -> results``, ``broadcast(weights)``, ``borrow_worker()``,
+``n_workers``, ``close()``.  ``"auto"`` keeps the historical behaviour:
+serial at ``n_workers<=1``, threaded above.
 """
 
 from __future__ import annotations
@@ -20,9 +35,18 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List
 
 from repro.fl.availability import DiurnalSampler, DropoutSampler
+from repro.fl.executor import SerialExecutor, ThreadedExecutor
+from repro.fl.process_executor import ProcessExecutor
 from repro.fl.sampling import FixedSampler, UniformSampler, WeightedSampler
 
-__all__ = ["available_samplers", "build_sampler", "register_sampler"]
+__all__ = [
+    "available_samplers",
+    "build_sampler",
+    "register_sampler",
+    "available_executors",
+    "build_executor",
+    "register_executor",
+]
 
 #: factory(n_clients, clients_per_round, seed, **kwargs) -> sampler
 SamplerFactory = Callable[..., Any]
@@ -101,3 +125,80 @@ register_sampler("weighted", _weighted)
 register_sampler("fixed", _fixed)
 register_sampler("dropout", _dropout)
 register_sampler("diurnal", _diurnal)
+
+
+# ---------------------------------------------------------------------------
+# Execution-backend registry.
+# ---------------------------------------------------------------------------
+
+#: factory(engine, n_workers) -> executor
+ExecutorFactory = Callable[..., Any]
+
+_EXECUTORS: Dict[str, ExecutorFactory] = {}
+
+
+def register_executor(name: str, factory: ExecutorFactory) -> None:
+    """Register (or replace) an execution backend factory under ``name``."""
+    _EXECUTORS[name.lower()] = factory
+
+
+def available_executors() -> List[str]:
+    return sorted(_EXECUTORS)
+
+
+def build_executor(name: str, *, engine, n_workers: int = 1):
+    """Instantiate the execution backend registered under ``name``.
+
+    ``engine`` is the :class:`~repro.api.engine.Engine` under construction;
+    factories pull worker recipes and the task runtime off it.  An unknown
+    name raises ``ValueError`` listing the alternatives.
+    """
+    try:
+        factory = _EXECUTORS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {name!r}; available: {available_executors()}"
+        ) from None
+    return factory(engine, n_workers)
+
+
+def _reject_preamble(engine, backend: str) -> None:
+    if engine.strategy.needs_preamble:
+        raise ValueError(
+            f"{engine.strategy.name} uses a preamble phase, which needs the "
+            f"serial backend's resident worker; run with executor='serial' "
+            f"(got {backend!r})"
+        )
+
+
+def _serial_executor(engine, n_workers: int) -> SerialExecutor:
+    return SerialExecutor(engine.make_worker, runtime=engine.runtime)
+
+
+def _threaded_executor(engine, n_workers: int) -> ThreadedExecutor:
+    _reject_preamble(engine, "threaded")
+    return ThreadedExecutor(
+        engine.make_worker, runtime=engine.runtime, n_workers=max(1, n_workers)
+    )
+
+
+def _process_executor(engine, n_workers: int) -> ProcessExecutor:
+    _reject_preamble(engine, "process")
+    return ProcessExecutor(
+        engine.process_worker_spec(),
+        initial_weights=engine.server.weights,
+        n_workers=max(1, n_workers),
+    )
+
+
+def _auto_executor(engine, n_workers: int):
+    """Historical default: serial on one worker, threads above."""
+    if n_workers <= 1:
+        return _serial_executor(engine, n_workers)
+    return _threaded_executor(engine, n_workers)
+
+
+register_executor("auto", _auto_executor)
+register_executor("serial", _serial_executor)
+register_executor("threaded", _threaded_executor)
+register_executor("process", _process_executor)

@@ -81,6 +81,9 @@ class ExperimentSpec:
     sampler: str = "uniform"
     sampler_kwargs: Pairs = ()
     n_workers: int = 1
+    #: execution backend registry name ("auto" | "serial" | "threaded" |
+    #: "process"); "auto" = serial at n_workers<=1, threaded above.
+    executor: str = "auto"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "overrides", _as_pairs(self.overrides, "overrides"))

@@ -25,7 +25,12 @@ import sys
 from typing import Any, Dict, List, Optional
 
 from repro.analysis import compare_fedprox_fedtrip, expected_xi
-from repro.api import ExperimentSpec, available_samplers, run_experiment
+from repro.api import (
+    ExperimentSpec,
+    available_executors,
+    available_samplers,
+    run_experiment,
+)
 from repro.data import available_datasets, get_spec, heterogeneity_summary
 from repro.io import save_history
 from repro.models import available_models, build_model, profile_model
@@ -51,8 +56,12 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
                    help="client-selection policy")
     p.add_argument("--sampler-arg", action="append", default=[], metavar="KEY=VALUE",
                    help="policy parameter, repeatable (e.g. dropout=0.2)")
-    p.add_argument("--workers", type=int, default=1,
-                   help=">1 trains clients on a thread pool")
+    p.add_argument("--executor", default="auto", choices=available_executors(),
+                   help="execution backend (auto = serial at 1 worker, "
+                        "threaded above; 'process' trains clients in a "
+                        "multiprocessing pool with shared-memory broadcast)")
+    p.add_argument("--workers", "--n-workers", type=int, default=1, dest="workers",
+                   help="worker count for the pooled backends")
 
 
 def _parse_value(text: str) -> Any:
@@ -94,6 +103,7 @@ def _spec_from_args(args, method: Optional[str] = None,
         sampler=args.sampler,
         sampler_kwargs=_parse_kv(args.sampler_arg),
         n_workers=args.workers,
+        executor=args.executor,
     )
 
 

@@ -7,7 +7,15 @@ from repro.fl.aggregation import fedavg_aggregate, uniform_aggregate, weighted_a
 from repro.fl.client import Client, run_client_round
 from repro.fl.server import Server
 from repro.fl.evaluation import evaluate_model, full_batch_gradient
-from repro.fl.executor import WorkerContext, SerialExecutor, ThreadedExecutor
+from repro.fl.executor import (
+    WorkerContext,
+    ClientTaskSpec,
+    TaskResult,
+    TaskRuntime,
+    SerialExecutor,
+    ThreadedExecutor,
+)
+from repro.fl.process_executor import ProcessExecutor
 from repro.fl.simulation import Simulation, make_optimizer
 from repro.fl.availability import DropoutSampler, DiurnalSampler
 from repro.fl.centralized import CentralizedResult, train_centralized
@@ -42,8 +50,12 @@ __all__ = [
     "evaluate_model",
     "full_batch_gradient",
     "WorkerContext",
+    "ClientTaskSpec",
+    "TaskResult",
+    "TaskRuntime",
     "SerialExecutor",
     "ThreadedExecutor",
+    "ProcessExecutor",
     "Simulation",
     "make_optimizer",
     "DeviceProfile",

@@ -1,38 +1,71 @@
-"""Client-round execution backends.
+"""Client-round execution backends and the picklable task layer.
 
-An FL round trains K independent clients; the simulation expresses each as a
-closure over a :class:`WorkerContext` (a model replica + optimizer + frozen
-reference model) and hands the batch to an executor:
+An FL round trains K independent clients.  The engine describes each one as
+a :class:`ClientTaskSpec` — a plain-data payload (client id, round index,
+persistent strategy state, server broadcast blob) that any backend can
+execute, including out-of-process ones — and hands the batch to an executor:
 
 * :class:`SerialExecutor` — one worker context, clients trained in order.
-  The default, and the only sensible choice on a single core.
+  The default, and the only backend that supports the preamble phase.
 * :class:`ThreadedExecutor` — N worker contexts served by a thread pool.
   NumPy's BLAS kernels release the GIL, so multi-core machines overlap the
-  GEMM-heavy forward/backward work across clients.  Results are returned in
-  task order, so serial and threaded execution are bit-identical per client
-  (verified by tests).
+  GEMM-heavy forward/backward work across clients.
+* :class:`~repro.fl.process_executor.ProcessExecutor` — N worker *processes*
+  fed through a ``multiprocessing`` pool, with the global weights broadcast
+  once per round via ``multiprocessing.shared_memory`` (see that module).
+
+All backends return results in task order, so a fixed seed produces
+byte-identical round records on every backend (verified by tests).  The
+executor registry in :mod:`repro.api.registry` resolves backends by name
+(``"serial"`` / ``"threaded"`` / ``"process"``).
 """
 
 from __future__ import annotations
 
 import queue
+import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.fl.types import ClientUpdate
+import numpy as np
+
+from repro.algorithms.base import ClientRoundContext, Strategy
+from repro.fl.client import Client, run_client_round
+from repro.fl.types import ClientUpdate, FLConfig
 from repro.models.fedmodel import FedModel
 from repro.nn.losses import CrossEntropyLoss
+from repro.optim import SGD, Adam
 from repro.optim.base import Optimizer
 
-__all__ = ["WorkerContext", "SerialExecutor", "ThreadedExecutor"]
+__all__ = [
+    "WorkerContext",
+    "ClientTaskSpec",
+    "TaskResult",
+    "TaskRuntime",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "build_round_context",
+    "execute_task",
+    "make_optimizer",
+]
 
-ClientTask = Callable[["WorkerContext"], ClientUpdate]
+
+def make_optimizer(name: str, params, config: FLConfig):
+    """Build the local optimizer the paper pairs with each method."""
+    key = name.lower()
+    if key == "sgdm":
+        return SGD(params, lr=config.lr, momentum=config.momentum)
+    if key == "sgd":
+        return SGD(params, lr=config.lr, momentum=0.0)
+    if key == "adam":
+        return Adam(params, lr=config.lr)
+    raise ValueError(f"unknown optimizer {name!r}")
 
 
 @dataclass
 class WorkerContext:
-    """Per-worker mutable resources; never shared across threads."""
+    """Per-worker mutable resources; never shared across threads/processes."""
 
     model: FedModel
     frozen: FedModel
@@ -40,11 +73,113 @@ class WorkerContext:
     criterion: CrossEntropyLoss
 
 
+@dataclass
+class ClientTaskSpec:
+    """One client's work order for one round — plain data, picklable.
+
+    ``state`` is the client's persistent strategy state (historical model,
+    control variates, ...): the executor hands it to the strategy hooks and
+    returns the (possibly replaced) dict on the :class:`TaskResult`, which
+    is how state round-trips across process boundaries.  The server's
+    round broadcast payload is deliberately *not* part of the task — it is
+    shipped once per round through ``executor.broadcast`` (so the process
+    backend never pickles it per client).  ``emulate_seconds`` optionally
+    charges a wall-clock sleep per task, modelling device/network latency
+    (see :mod:`repro.fl.systems`) so scheduling benchmarks can measure
+    backend overlap independently of raw FLOPs.
+    """
+
+    client_id: int
+    round_idx: int
+    state: Dict[str, Any]
+    preamble_flops: float = 0.0
+    emulate_seconds: float = 0.0
+
+
+@dataclass
+class TaskResult:
+    """What an executor returns per task: the update + the new client state."""
+
+    update: ClientUpdate
+    state: Dict[str, Any]
+
+
+@dataclass
+class TaskRuntime:
+    """Everything a backend needs to turn a :class:`ClientTaskSpec` into a
+    :class:`TaskResult`.
+
+    In-process executors share the engine's runtime (``global_weights`` and
+    ``server_broadcast`` are rebound by :meth:`SerialExecutor.broadcast`
+    each round); each pool worker of the process backend builds its own
+    from a picklable init payload, with ``global_weights`` pointing at
+    read-only shared-memory views and ``server_broadcast`` refreshed once
+    per round from the broadcast segment.
+    """
+
+    clients: List[Client]
+    strategy: Strategy
+    config: FLConfig
+    fp_flops: float
+    global_weights: List[np.ndarray]
+    server_broadcast: Dict[str, Any] = field(default_factory=dict)
+
+
+def build_round_context(
+    worker: WorkerContext,
+    runtime: TaskRuntime,
+    client_id: int,
+    round_idx: int,
+    broadcast: Dict[str, Any],
+    state: Dict[str, Any],
+) -> ClientRoundContext:
+    """Load the global weights into the worker model and assemble the
+    per-client round context every strategy hook receives."""
+    client = runtime.clients[client_id]
+    worker.model.set_weights(runtime.global_weights)
+    return ClientRoundContext(
+        client_id=client.id,
+        round_idx=round_idx,
+        global_weights=runtime.global_weights,
+        model=worker.model,
+        frozen=worker.frozen,
+        optimizer=worker.optimizer,
+        criterion=worker.criterion,
+        config=runtime.config,
+        state=state,
+        rng=client.round_rng(round_idx),
+        n_samples=client.num_samples,
+        fp_flops_per_sample=runtime.fp_flops,
+        server_broadcast=dict(broadcast),
+    )
+
+
+def execute_task(task: ClientTaskSpec, worker: WorkerContext, runtime: TaskRuntime) -> TaskResult:
+    """Run one client task on one worker context (any backend, any process)."""
+    if task.emulate_seconds > 0.0:
+        time.sleep(task.emulate_seconds)
+    client = runtime.clients[task.client_id]
+    ctx = build_round_context(
+        worker, runtime, task.client_id, task.round_idx,
+        runtime.server_broadcast, task.state,
+    )
+    update = run_client_round(client, runtime.strategy, ctx)
+    update.flops += task.preamble_flops
+    return TaskResult(update=update, state=ctx.state)
+
+
 class SerialExecutor:
     """Run client tasks one after another on a single worker context."""
 
-    def __init__(self, make_worker: Callable[[], WorkerContext]) -> None:
+    name = "serial"
+
+    def __init__(
+        self,
+        make_worker: Callable[[], WorkerContext],
+        runtime: Optional[TaskRuntime] = None,
+    ) -> None:
         self._worker = make_worker()
+        self.runtime = runtime
 
     @property
     def n_workers(self) -> int:
@@ -56,20 +191,42 @@ class SerialExecutor:
         one; callers must not hold it across ``run()`` calls."""
         return self._worker
 
-    def run(self, tasks: List[ClientTask]) -> List[ClientUpdate]:
-        return [task(self._worker) for task in tasks]
+    def broadcast(self, weights: List[np.ndarray],
+                  payload: Optional[Dict[str, Any]] = None) -> None:
+        """Point this round's tasks at the new global weights and server
+        broadcast payload (no copies)."""
+        runtime = self._require_runtime()
+        runtime.global_weights = weights
+        runtime.server_broadcast = payload if payload is not None else {}
 
-    def close(self) -> None:  # symmetry with ThreadedExecutor
+    def _require_runtime(self) -> TaskRuntime:
+        if self.runtime is None:
+            raise RuntimeError("executor was constructed without a TaskRuntime")
+        return self.runtime
+
+    def run(self, tasks: Sequence[ClientTaskSpec]) -> List[TaskResult]:
+        runtime = self._require_runtime()
+        return [execute_task(t, self._worker, runtime) for t in tasks]
+
+    def close(self) -> None:  # symmetry with the pooled backends
         pass
 
 
 class ThreadedExecutor:
     """Thread-pool execution with a checkout queue of worker contexts."""
 
-    def __init__(self, make_worker: Callable[[], WorkerContext], n_workers: int = 2) -> None:
+    name = "threaded"
+
+    def __init__(
+        self,
+        make_worker: Callable[[], WorkerContext],
+        runtime: Optional[TaskRuntime] = None,
+        n_workers: int = 2,
+    ) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         self._n_workers = n_workers
+        self.runtime = runtime
         self._contexts: "queue.SimpleQueue[WorkerContext]" = queue.SimpleQueue()
         for _ in range(n_workers):
             self._contexts.put(make_worker())
@@ -84,14 +241,25 @@ class ThreadedExecutor:
         model for out-of-band work must build their own replica."""
         return None
 
-    def _run_one(self, task: ClientTask) -> ClientUpdate:
+    def broadcast(self, weights: List[np.ndarray],
+                  payload: Optional[Dict[str, Any]] = None) -> None:
+        """Point this round's tasks at the new global weights and server
+        broadcast payload (no copies)."""
+        if self.runtime is None:
+            raise RuntimeError("executor was constructed without a TaskRuntime")
+        self.runtime.global_weights = weights
+        self.runtime.server_broadcast = payload if payload is not None else {}
+
+    def _run_one(self, task: ClientTaskSpec) -> TaskResult:
         ctx = self._contexts.get()
         try:
-            return task(ctx)
+            return execute_task(task, ctx, self.runtime)
         finally:
             self._contexts.put(ctx)
 
-    def run(self, tasks: List[ClientTask]) -> List[ClientUpdate]:
+    def run(self, tasks: Sequence[ClientTaskSpec]) -> List[TaskResult]:
+        if self.runtime is None:
+            raise RuntimeError("executor was constructed without a TaskRuntime")
         futures = [self._pool.submit(self._run_one, t) for t in tasks]
         return [f.result() for f in futures]
 

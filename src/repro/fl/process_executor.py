@@ -1,0 +1,291 @@
+"""Process-pool execution with shared-memory weight broadcast.
+
+Training a client round is dominated by pure-Python tape/optimizer work that
+holds the GIL, so :class:`~repro.fl.executor.ThreadedExecutor` stops scaling
+almost immediately.  :class:`ProcessExecutor` sidesteps the GIL entirely: it
+trains clients in a persistent ``multiprocessing`` worker pool, and instead
+of pickling the full global model into every client task it broadcasts the
+weights **once per round** through a ``multiprocessing.shared_memory`` flat
+buffer:
+
+* the server side does one ``np.copyto`` per parameter array per round into
+  the shared segment (:meth:`ProcessExecutor.broadcast`);
+* every worker holds *read-only* NumPy views into the same segment, so
+  reading the global weights is zero-copy — ``set_weights`` copies them into
+  the worker's model exactly as the in-process backends do.
+
+Workers are initialized once per pool from a picklable
+:class:`ProcessWorkerSpec` (dataset, strategy, config, model registry name)
+and rebuild their model/optimizer/clients locally with the same seeded RNG
+streams as the engine, so a fixed seed produces byte-identical round records
+across serial, threaded and process backends (asserted by tests).
+
+Synchronization contract: the engine calls ``broadcast(weights)`` strictly
+before ``run(tasks)`` and ``run`` is synchronous, so no worker ever reads
+the segment while the parent writes it.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, replace
+from multiprocessing import get_all_start_methods, get_context, shared_memory
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import Strategy
+from repro.data.federated import FederatedData
+from repro.fl.client import Client
+from repro.fl.executor import (
+    ClientTaskSpec,
+    TaskResult,
+    TaskRuntime,
+    WorkerContext,
+    execute_task,
+    make_optimizer,
+)
+from repro.fl.types import FLConfig
+from repro.models import build_model
+from repro.nn.losses import CrossEntropyLoss
+from repro.utils.rng import RngStream
+
+__all__ = ["WeightLayout", "ProcessWorkerSpec", "ProcessExecutor"]
+
+
+@dataclass(frozen=True)
+class WeightLayout:
+    """Flat-buffer layout of a weight tree: (shape, dtype, offset) triples."""
+
+    shapes: Tuple[Tuple[int, ...], ...]
+    dtypes: Tuple[str, ...]
+    offsets: Tuple[int, ...]
+    total_bytes: int
+
+    @classmethod
+    def from_weights(cls, weights: Sequence[np.ndarray]) -> "WeightLayout":
+        shapes, dtypes, offsets = [], [], []
+        cursor = 0
+        for w in weights:
+            w = np.asarray(w)
+            # 8-byte alignment keeps every view's dtype happy.
+            cursor = (cursor + 7) // 8 * 8
+            shapes.append(tuple(w.shape))
+            dtypes.append(w.dtype.str)
+            offsets.append(cursor)
+            cursor += w.nbytes
+        return cls(tuple(shapes), tuple(dtypes), tuple(offsets), max(cursor, 1))
+
+    def views(self, buf, writeable: bool) -> List[np.ndarray]:
+        """NumPy views over ``buf`` (a shared-memory buffer), one per array."""
+        out = []
+        for shape, dtype, offset in zip(self.shapes, self.dtypes, self.offsets):
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=buf, offset=offset)
+            view.flags.writeable = writeable
+            out.append(view)
+        return out
+
+
+@dataclass
+class ProcessWorkerSpec:
+    """Everything a pool worker needs to rebuild its half of the engine.
+
+    Must stay picklable: it crosses the process boundary exactly once, as
+    the pool initializer argument.
+    """
+
+    data: FederatedData
+    strategy: Strategy
+    config: FLConfig
+    model_name: str
+    opt_name: str
+    fp_flops: float
+    #: filled in by ProcessExecutor.__init__, never by the engine
+    layout: Optional[WeightLayout] = None
+    shm_name: str = ""
+
+
+# Per-worker-process globals, populated by _init_worker.
+_WORKER: Optional[WorkerContext] = None
+_RUNTIME: Optional[TaskRuntime] = None
+_SHM: Optional[shared_memory.SharedMemory] = None
+#: (segment name, unpickled payload) — one unpickle per worker per round.
+_PAYLOAD_CACHE: Tuple[Optional[str], Dict[str, Any]] = (None, {})
+
+
+#: reference to a round's broadcast payload segment: (shm name, nbytes)
+PayloadRef = Optional[Tuple[str, int]]
+
+
+def _resolve_payload(ref: PayloadRef) -> Dict[str, Any]:
+    """Fetch the round's server broadcast payload, caching per segment."""
+    global _PAYLOAD_CACHE
+    if ref is None:
+        return {}
+    name, nbytes = ref
+    if _PAYLOAD_CACHE[0] != name:
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            payload = pickle.loads(bytes(shm.buf[:nbytes]))
+        finally:
+            shm.close()
+        _PAYLOAD_CACHE = (name, payload)
+    return _PAYLOAD_CACHE[1]
+
+
+def _init_worker(spec: ProcessWorkerSpec) -> None:
+    """Pool initializer: attach the weight segment, rebuild model/clients."""
+    global _WORKER, _RUNTIME, _SHM
+    # Workers share the parent's resource tracker (multiprocessing hands the
+    # tracker fd to fork and spawn children alike), so the attach below is a
+    # no-op re-registration; only the creating process ever unlinks.
+    _SHM = shared_memory.SharedMemory(name=spec.shm_name)
+    views = spec.layout.views(_SHM.buf, writeable=False)
+
+    data_spec = spec.data.spec
+    root = RngStream(spec.config.seed)
+
+    def model_fn():
+        # Fresh child generator per call -> replicas get the exact initial
+        # weights the engine's canonical model got.
+        return build_model(
+            spec.model_name,
+            data_spec.input_shape,
+            data_spec.num_classes,
+            rng=root.child("model-init").generator,
+        )
+
+    model = model_fn()
+    frozen = model_fn()
+    frozen.eval()
+    _WORKER = WorkerContext(
+        model, frozen, make_optimizer(spec.opt_name, model.parameters(), spec.config),
+        CrossEntropyLoss(),
+    )
+    clients = [
+        Client(k, spec.data.client_dataset(k), seed=spec.config.seed)
+        for k in range(spec.data.n_clients)
+    ]
+    _RUNTIME = TaskRuntime(
+        clients=clients,
+        strategy=spec.strategy,
+        config=spec.config,
+        fp_flops=spec.fp_flops,
+        global_weights=views,
+    )
+
+
+def _run_task(job: Tuple[ClientTaskSpec, PayloadRef]) -> TaskResult:
+    """Pool task entry point; runs in the worker process."""
+    assert _WORKER is not None and _RUNTIME is not None, "worker not initialized"
+    task, payload_ref = job
+    _RUNTIME.server_broadcast = _resolve_payload(payload_ref)
+    return execute_task(task, _WORKER, _RUNTIME)
+
+
+class ProcessExecutor:
+    """Train client tasks in a ``multiprocessing`` pool.
+
+    Parameters
+    ----------
+    spec:
+        Picklable worker build recipe (``shm_name``/``layout`` are filled in
+        here from ``initial_weights``).
+    initial_weights:
+        The engine's global weight tree; defines the shared segment layout
+        and seeds its first broadcast.
+    n_workers:
+        Pool size.
+    mp_start_method:
+        ``"fork"`` / ``"spawn"`` / ``"forkserver"``; default prefers
+        ``fork`` where available (no re-import cost), else ``spawn``.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        spec: ProcessWorkerSpec,
+        initial_weights: Sequence[np.ndarray],
+        n_workers: int = 2,
+        mp_start_method: Optional[str] = None,
+    ) -> None:
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        self._n_workers = n_workers
+        layout = WeightLayout.from_weights(initial_weights)
+        self._shm = shared_memory.SharedMemory(create=True, size=layout.total_bytes)
+        self._views: Optional[List[np.ndarray]] = layout.views(self._shm.buf, writeable=True)
+        self._payload_shm: Optional[shared_memory.SharedMemory] = None
+        self._payload_ref: PayloadRef = None
+        self.broadcast(initial_weights)
+        if mp_start_method is None:
+            mp_start_method = "fork" if "fork" in get_all_start_methods() else "spawn"
+        ctx = get_context(mp_start_method)
+        spec = replace(spec, shm_name=self._shm.name, layout=layout)
+        self._pool = ctx.Pool(n_workers, initializer=_init_worker, initargs=(spec,))
+        self._closed = False
+
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    def borrow_worker(self) -> Optional[WorkerContext]:
+        """Worker contexts live in other processes; there is nothing to lend."""
+        return None
+
+    def broadcast(self, weights: Sequence[np.ndarray],
+                  payload: Optional[Dict[str, Any]] = None) -> None:
+        """Copy the new global weights into the shared segment (one
+        ``np.copyto`` per parameter array per round) and publish the
+        server's broadcast payload, pickled **once** per round into its own
+        segment — never per client task."""
+        assert self._views is not None, "executor is closed"
+        if len(weights) != len(self._views):
+            raise ValueError(
+                f"weight tree has {len(weights)} arrays, layout expects {len(self._views)}"
+            )
+        for view, w in zip(self._views, weights):
+            np.copyto(view, w)
+        # The previous round's payload segment is quiescent by now (run()
+        # is synchronous), so it can be retired before publishing the next.
+        self._drop_payload_segment()
+        if payload:
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            self._payload_shm = shared_memory.SharedMemory(create=True, size=len(blob))
+            self._payload_shm.buf[: len(blob)] = blob
+            self._payload_ref = (self._payload_shm.name, len(blob))
+
+    def _drop_payload_segment(self) -> None:
+        self._payload_ref = None
+        if self._payload_shm is not None:
+            self._payload_shm.close()
+            try:
+                self._payload_shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self._payload_shm = None
+
+    def run(self, tasks: Sequence[ClientTaskSpec]) -> List[TaskResult]:
+        return self._pool.map(_run_task, [(t, self._payload_ref) for t in tasks])
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.close()
+        self._pool.join()
+        self._drop_payload_segment()
+        # Views hold exported buffers; release them before closing the segment.
+        self._views = None
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC-time cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -11,8 +11,10 @@ is a direct subclass kept so the historical imperative API —
     sim.close()
 
 — keeps working unchanged (constructor signature, ``run_round()``,
-``update_observers``, ``evaluate_global()``, ``global_model()``).  New code
-should prefer the declarative front door::
+``update_observers``, ``evaluate_global()``, ``global_model()``), including
+the engine's registry-resolved execution backends
+(``executor="serial"|"threaded"|"process"``).  New code should prefer the
+declarative front door::
 
     from repro.api import ExperimentSpec, run_experiment
     history = run_experiment(ExperimentSpec(dataset="mini_mnist", model="cnn"))

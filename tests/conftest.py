@@ -9,6 +9,22 @@ from repro.data import build_federated_data
 from repro.fl import FLConfig
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--executor",
+        default="serial",
+        choices=["auto", "serial", "threaded", "process"],
+        help="execution backend the backend-sensitive smoke tests run on "
+             "(CI runs the suite once more with --executor process)",
+    )
+
+
+@pytest.fixture(scope="session")
+def executor_name(request):
+    """The backend selected with ``--executor`` (default: serial)."""
+    return request.config.getoption("--executor")
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(0)

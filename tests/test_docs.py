@@ -1,0 +1,31 @@
+"""The documentation stays healthy: links resolve, the quickstart runs.
+
+Thin wrapper over ``scripts/check_docs.py`` (which CI also runs as a
+standalone docs job) so tier-1 catches a broken doc link or a rotten
+README snippet locally, before CI does.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "scripts"))
+
+import check_docs  # noqa: E402
+
+
+def test_markdown_corpus_nonempty():
+    names = {p.name for p in check_docs.md_files()}
+    assert {"README.md", "api.md", "architecture.md", "algorithms.md"} <= names
+
+
+def test_intra_repo_links_resolve():
+    errors = check_docs.check_links(check_docs.md_files())
+    assert not errors, "\n".join(errors)
+
+
+def test_readme_quickstart_runs():
+    errors = check_docs.check_quickstart(REPO / "README.md")
+    assert not errors, "\n".join(errors)
