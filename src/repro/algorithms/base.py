@@ -59,6 +59,10 @@ class ClientRoundContext:
     upload_extras: Dict[str, Any] = field(default_factory=dict)
     extra_flops: float = 0.0             # attach-op + extra-forward FLOPs
     scratch: Dict[str, Any] = field(default_factory=dict)  # round-local temp
+    #: scheduler-measured staleness (server versions since this client's
+    #: last dispatch) under the async/semi-sync modes; None in sync mode,
+    #: where strategies fall back to round arithmetic.
+    xi_measured: Optional[float] = None
 
     @property
     def n_params(self) -> int:

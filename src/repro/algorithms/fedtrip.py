@@ -91,7 +91,14 @@ class FedTrip(Strategy):
         last = ctx.state.get("last_round")
         if ctx.state.get("historical") is None or last is None:
             return 0.0
-        staleness = max(ctx.round_idx - last, 1)
+        if ctx.xi_measured is not None:
+            # An event-driven mode measured this client's staleness on the
+            # scheduler (server versions since its last dispatch); prefer
+            # the physical quantity over round arithmetic.  In the sync
+            # case the two coincide (a unit test pins the equivalence).
+            staleness = max(float(ctx.xi_measured), 1.0)
+        else:
+            staleness = float(max(ctx.round_idx - last, 1))
         if self.xi_mode == "constant":
             return self.xi_value
         if self.xi_mode == "normalized":

@@ -22,10 +22,13 @@ Quickstart::
 from repro.api.spec import ExperimentSpec
 from repro.api.registry import (
     available_executors,
+    available_modes,
     available_samplers,
     build_executor,
+    build_mode,
     build_sampler,
     register_executor,
+    register_mode,
     register_sampler,
 )
 from repro.api.callbacks import (
@@ -52,4 +55,7 @@ __all__ = [
     "available_executors",
     "build_executor",
     "register_executor",
+    "available_modes",
+    "build_mode",
+    "register_mode",
 ]

@@ -58,7 +58,7 @@ from repro.utils.logging import get_logger
 from repro.utils.rng import RngStream
 
 from repro.api.callbacks import Callback, EarlyStopping, ProgressLogger
-from repro.api.registry import build_executor
+from repro.api.registry import build_executor, build_mode
 
 __all__ = ["Engine", "run_experiment", "make_optimizer"]
 
@@ -96,6 +96,17 @@ class Engine:
         every client task, emulating device/network time so scheduling
         benchmarks can measure how well a backend overlaps clients.  Zero
         (the default) disables it; it never affects the trained numbers.
+    system_model:
+        Optional :class:`~repro.fl.systems.SystemModel` pricing each
+        synchronous round at the slowest selected client's
+        compute + transfer time; when attached, every
+        :class:`~repro.fl.types.RoundRecord` carries the cumulative
+        simulated clock in ``virtual_time_s`` (the
+        ``ExperimentSpec.device_profile`` field builds one from the
+        wifi/4g/iot presets).  Purely observational — trained numbers are
+        unaffected.  The event-driven modes
+        (:class:`~repro.fl.asyncfl.engine.AsyncFLEngine`) price per-client
+        durations from the same presets instead.
     callbacks:
         :class:`~repro.api.callbacks.Callback` instances observing the loop.
         If ``config.target_accuracy`` is set and no
@@ -114,11 +125,19 @@ class Engine:
         n_workers: int = 1,
         executor: str = "auto",
         client_latency_s: float = 0.0,
+        system_model=None,
         callbacks: Iterable[Callback] = (),
     ) -> None:
         if config.n_clients != data.n_clients:
             raise ValueError(
                 f"config.n_clients={config.n_clients} but data has {data.n_clients} shards"
+            )
+        # Validate before any executor is built: a late raise would leak a
+        # spawned worker pool (close() is unreachable from __init__).
+        if system_model is not None and len(system_model.profiles) != config.n_clients:
+            raise ValueError(
+                f"system model covers {len(system_model.profiles)} clients, "
+                f"config has {config.n_clients}"
             )
         self.data = data
         self.strategy = strategy
@@ -182,6 +201,11 @@ class Engine:
         # kept so existing attach()-style diagnostics keep working.
         self.update_observers: List = []
         self._stop_reason: Optional[str] = None
+        self.system_model = system_model
+        #: cumulative simulated clock stamped onto round records; None until
+        #: a device/network model observes a round (event-driven subclasses
+        #: set it from their virtual clock instead).
+        self._virtual_time_s: Optional[float] = None
 
     # ------------------------------------------------------------------
     # callback / stop plumbing
@@ -319,6 +343,14 @@ class Engine:
         self._fire("on_evaluate", round_idx, acc, loss)
         return acc, loss
 
+    def _observe_virtual_time(self, updates: List[ClientUpdate]) -> None:
+        """Advance the simulated clock by this synchronous round's duration
+        (slowest selected client) when a system model is attached."""
+        if self.system_model is None:
+            return
+        self.system_model.observe(updates, self.server.weights)
+        self._virtual_time_s = self.system_model.total_seconds()
+
     def _phase_record(
         self,
         round_idx: int,
@@ -327,8 +359,10 @@ class Engine:
         acc: Optional[float],
         loss: Optional[float],
         t0: float,
+        update_staleness: Optional[List[int]] = None,
     ) -> RoundRecord:
         """Phase 7: cost bookkeeping + append the round record."""
+        self._observe_virtual_time(updates)
         round_flops = sum(u.flops for u in updates)
         round_comm = sum(u.comm_bytes for u in updates)
         prev = self.history.records[-1] if self.history.records else None
@@ -341,6 +375,12 @@ class Engine:
             cumulative_flops=(prev.cumulative_flops if prev else 0.0) + round_flops,
             cumulative_comm_bytes=(prev.cumulative_comm_bytes if prev else 0.0) + round_comm,
             wall_seconds=time.perf_counter() - t0,
+            virtual_time_s=self._virtual_time_s,
+            update_staleness=(
+                update_staleness
+                if update_staleness is not None
+                else ([0] * len(updates) if self._virtual_time_s is not None else None)
+            ),
         )
         self.history.append(record)
         self._fire("on_round_end", record)
@@ -408,20 +448,19 @@ def run_experiment(
     """Train one :class:`~repro.api.spec.ExperimentSpec` and return its history.
 
     The declarative front door: builds the data, strategy, config and
-    sampler from the spec, runs the engine to completion (early stop
-    included) and releases the executor.  ``data`` optionally supplies a
-    prebuilt dataset equal to ``spec.build_data()`` — a cache hook for
-    callers training many methods on one partition; the caller is
-    responsible for it actually matching the spec's data fields.
+    sampler from the spec, resolves ``spec.mode`` through the mode registry
+    (``"sync"`` — this module's barrier engine; ``"semisync"``/``"async"``
+    — the event-driven :class:`~repro.fl.asyncfl.engine.AsyncFLEngine`),
+    runs the engine to completion (early stop included) and releases the
+    executor.  ``data`` optionally supplies a prebuilt dataset equal to
+    ``spec.build_data()`` — a cache hook for callers training many methods
+    on one partition; the caller is responsible for it actually matching
+    the spec's data fields.
     """
-    engine = Engine(
-        data if data is not None else spec.build_data(),
-        spec.build_strategy(),
-        spec.build_config(),
-        model_name=spec.model,
-        sampler=spec.build_sampler(),
-        n_workers=spec.n_workers,
-        executor=spec.executor,
+    engine = build_mode(
+        spec.mode,
+        spec=spec,
+        data=data if data is not None else spec.build_data(),
         callbacks=callbacks,
     )
     try:

@@ -1,4 +1,4 @@
-"""Declarative registries: client samplers and execution backends.
+"""Declarative registries: client samplers, execution backends, server modes.
 
 Both registries exist for the same reason: heterogeneous constructors hidden
 behind one factory signature, so a policy can be chosen from an
@@ -28,6 +28,18 @@ requested worker count, and returns an object with the executor contract:
 ``run(tasks) -> results``, ``broadcast(weights)``, ``borrow_worker()``,
 ``n_workers``, ``close()``.  ``"auto"`` keeps the historical behaviour:
 serial at ``n_workers<=1``, threaded above.
+
+**Modes** (:mod:`repro.api.engine` / :mod:`repro.fl.asyncfl`) — resolved
+from the spec's ``mode`` field or the ``--mode`` CLI flag::
+
+    engine = build_mode("semisync", spec=spec, data=data, callbacks=[])
+
+A mode factory receives the full :class:`~repro.api.spec.ExperimentSpec`,
+the prebuilt dataset and the callback list, and returns a ready-to-run
+engine.  Built-ins: ``"sync"`` (the barrier loop), ``"semisync"``
+(deadline/buffer rounds) and ``"async"`` (staleness-decayed mixing), the
+latter two on the virtual-clock event scheduler; the engine classes are
+imported lazily so the registry stays import-cycle-free.
 """
 
 from __future__ import annotations
@@ -46,6 +58,9 @@ __all__ = [
     "available_executors",
     "build_executor",
     "register_executor",
+    "available_modes",
+    "build_mode",
+    "register_mode",
 ]
 
 #: factory(n_clients, clients_per_round, seed, **kwargs) -> sampler
@@ -202,3 +217,92 @@ register_executor("auto", _auto_executor)
 register_executor("serial", _serial_executor)
 register_executor("threaded", _threaded_executor)
 register_executor("process", _process_executor)
+
+
+# ---------------------------------------------------------------------------
+# Server-mode registry.
+# ---------------------------------------------------------------------------
+
+#: factory(spec, data, callbacks) -> engine
+ModeFactory = Callable[..., Any]
+
+_MODES: Dict[str, ModeFactory] = {}
+
+
+def register_mode(name: str, factory: ModeFactory) -> None:
+    """Register (or replace) a server-mode factory under ``name``."""
+    _MODES[name.lower()] = factory
+
+
+def available_modes() -> List[str]:
+    return sorted(_MODES)
+
+
+def build_mode(name: str, *, spec, data, callbacks=()):
+    """Instantiate the engine for the mode registered under ``name``.
+
+    ``spec`` is the full :class:`~repro.api.spec.ExperimentSpec`; ``data``
+    the prebuilt federated dataset matching it.  An unknown name raises
+    ``ValueError`` listing the alternatives.
+    """
+    try:
+        factory = _MODES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown mode {name!r}; available: {available_modes()}"
+        ) from None
+    return factory(spec, data, callbacks)
+
+
+def _sync_mode(spec, data, callbacks):
+    from repro.api.engine import Engine
+
+    return Engine(
+        data,
+        spec.build_strategy(),
+        spec.build_config(),
+        model_name=spec.model,
+        sampler=spec.build_sampler(),
+        n_workers=spec.n_workers,
+        executor=spec.executor,
+        system_model=spec.build_system_model(),
+        callbacks=callbacks,
+    )
+
+
+def _event_driven_mode(spec, data, callbacks, mode: str):
+    from repro.fl.asyncfl.engine import AsyncFLEngine
+    from repro.fl.asyncfl.timing import ClientTimingModel
+
+    # The event scheduler needs per-client durations; without an explicit
+    # device profile, price everything on the homogeneous wifi preset.
+    system = spec.build_system_model(default="wifi")
+    return AsyncFLEngine(
+        data,
+        spec.build_strategy(),
+        spec.build_config(),
+        timing=ClientTimingModel(system),
+        mode=mode,
+        buffer_size=spec.buffer_size,
+        deadline_s=spec.deadline_s,
+        async_alpha=spec.async_alpha,
+        async_poly=spec.async_poly,
+        model_name=spec.model,
+        sampler=spec.build_sampler(),
+        n_workers=spec.n_workers,
+        executor=spec.executor,
+        callbacks=callbacks,
+    )
+
+
+def _semisync_mode(spec, data, callbacks):
+    return _event_driven_mode(spec, data, callbacks, "semisync")
+
+
+def _async_mode(spec, data, callbacks):
+    return _event_driven_mode(spec, data, callbacks, "async")
+
+
+register_mode("sync", _sync_mode)
+register_mode("semisync", _semisync_mode)
+register_mode("async", _async_mode)

@@ -16,6 +16,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.algorithms import build_strategy
 from repro.data import build_federated_data
+from repro.fl.systems import SystemModel
 from repro.fl.types import FLConfig
 from repro.io.persistence import ExperimentStore
 
@@ -84,12 +85,50 @@ class ExperimentSpec:
     #: execution backend registry name ("auto" | "serial" | "threaded" |
     #: "process"); "auto" = serial at n_workers<=1, threaded above.
     executor: str = "auto"
+    # -- server mode & simulated systems model ------------------------------
+    #: server-mode registry name: "sync" (barrier rounds), "semisync"
+    #: (deadline/buffer rounds) or "async" (staleness-decayed mixing), the
+    #: latter two on the virtual-clock event scheduler (repro.fl.asyncfl).
+    mode: str = "sync"
+    #: semisync: aggregate whatever arrived this many simulated seconds
+    #: after dispatch (None = wait for the full buffer).
+    deadline_s: Optional[float] = None
+    #: aggregation buffer size K (FedBuff); None = 1 in async mode,
+    #: clients_per_round in semisync.  Over-selection = configuring
+    #: clients_per_round > buffer_size.
+    buffer_size: Optional[int] = None
+    #: device/network preset ("wifi" | "4g" | "iot", see
+    #: repro.fl.systems.NETWORK_PRESETS); attaches a SystemModel so sync
+    #: rounds are priced in simulated seconds, and drives the event
+    #: scheduler's per-client durations in async/semisync modes (which
+    #: default to "wifi" when unset).
+    device_profile: Optional[str] = None
+    #: multiplicative compute-speed spread (>= 1): client k's speed is
+    #: scaled by a seeded factor in [1/h, 1] — the straggler knob.
+    heterogeneity: float = 1.0
+    #: async mixing weight: alpha * (1 + staleness)^(-poly).
+    async_alpha: float = 0.6
+    async_poly: float = 0.5
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "overrides", _as_pairs(self.overrides, "overrides"))
         object.__setattr__(
             self, "sampler_kwargs", _as_pairs(self.sampler_kwargs, "sampler_kwargs")
         )
+        # A knob that silently does nothing would change the experiment the
+        # user believes they ran (same philosophy as from_dict's unknown-key
+        # rejection), so mode-inapplicable fields are errors, not no-ops.
+        if self.mode == "sync":
+            if self.deadline_s is not None or self.buffer_size is not None:
+                raise ValueError(
+                    "deadline_s/buffer_size apply to the event-driven modes; "
+                    "set mode='semisync' or 'async'"
+                )
+            if self.device_profile is None and self.heterogeneity != 1.0:
+                raise ValueError(
+                    "heterogeneity scales a device profile's compute speeds; "
+                    "sync mode without device_profile has no profile to spread"
+                )
 
     # ------------------------------------------------------------------
     # axes / serialization
@@ -186,4 +225,21 @@ class ExperimentSpec:
             clients_per_round=self.clients_per_round,
             seed=self.seed,
             **dict(self.sampler_kwargs),
+        )
+
+    def build_system_model(self, default: Optional[str] = None) -> Optional[SystemModel]:
+        """The device/network model implied by ``device_profile``.
+
+        ``default`` supplies a preset when the spec leaves the profile
+        unset (the event-driven modes need one); returns ``None`` when
+        both are unset — sync runs then skip virtual-time accounting.
+        """
+        profile = self.device_profile if self.device_profile is not None else default
+        if profile is None:
+            return None
+        return SystemModel(
+            profile,
+            n_clients=self.n_clients,
+            heterogeneity=self.heterogeneity,
+            seed=self.seed,
         )

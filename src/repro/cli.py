@@ -28,9 +28,11 @@ from repro.analysis import compare_fedprox_fedtrip, expected_xi
 from repro.api import (
     ExperimentSpec,
     available_executors,
+    available_modes,
     available_samplers,
     run_experiment,
 )
+from repro.fl.systems import NETWORK_PRESETS
 from repro.data import available_datasets, get_spec, heterogeneity_summary
 from repro.io import save_history
 from repro.models import available_models, build_model, profile_model
@@ -62,6 +64,26 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
                         "multiprocessing pool with shared-memory broadcast)")
     p.add_argument("--workers", "--n-workers", type=int, default=1, dest="workers",
                    help="worker count for the pooled backends")
+    p.add_argument("--mode", default="sync", choices=available_modes(),
+                   help="server mode: sync barrier rounds, semisync "
+                        "deadline/buffer rounds, or async staleness-decayed "
+                        "mixing (the latter two on the virtual-clock event "
+                        "scheduler)")
+    p.add_argument("--deadline-s", type=float, default=None, dest="deadline_s",
+                   help="semisync round deadline in simulated seconds "
+                        "(default: wait for the full buffer)")
+    p.add_argument("--buffer-size", type=int, default=None, dest="buffer_size",
+                   help="aggregation buffer size K (default: 1 in async, "
+                        "clients-per-round in semisync)")
+    p.add_argument("--device-profile", default=None, dest="device_profile",
+                   choices=sorted(NETWORK_PRESETS),
+                   help="device/network preset pricing simulated time "
+                        "(records virtual_time_s; async/semisync default "
+                        "to wifi when unset)")
+    p.add_argument("--heterogeneity", type=float, default=1.0,
+                   help="compute-speed spread h >= 1: clients run at a "
+                        "seeded factor in [1/h, 1] of the profile speed "
+                        "(the straggler knob)")
 
 
 def _parse_value(text: str) -> Any:
@@ -104,6 +126,11 @@ def _spec_from_args(args, method: Optional[str] = None,
         sampler_kwargs=_parse_kv(args.sampler_arg),
         n_workers=args.workers,
         executor=args.executor,
+        mode=args.mode,
+        deadline_s=args.deadline_s,
+        buffer_size=args.buffer_size,
+        device_profile=args.device_profile,
+        heterogeneity=args.heterogeneity,
     )
 
 
@@ -119,6 +146,10 @@ def cmd_train(args) -> int:
         print(f"rounds to {args.target}%: {hist.rounds_to_accuracy(args.target)}")
     print(f"total GFLOPs  : {hist.total_gflops():.3f}")
     print(f"total comm MB : {hist.total_comm_mb():.2f}")
+    simulated = [r.virtual_time_s for r in hist.records if r.virtual_time_s is not None]
+    if simulated:
+        print(f"simulated time: {simulated[-1] / 3600.0:.3f} h "
+              f"(mode={spec.mode}, profile={spec.device_profile or 'wifi'})")
     if args.out:
         save_history(hist, args.out)
         print(f"history saved to {args.out}")

@@ -17,6 +17,7 @@ from repro.fl.executor import (
 )
 from repro.fl.process_executor import ProcessExecutor
 from repro.fl.simulation import Simulation, make_optimizer
+from repro.fl.asyncfl import AsyncFLEngine, ClientTimingModel, EventQueue, VirtualClock
 from repro.fl.availability import DropoutSampler, DiurnalSampler
 from repro.fl.centralized import CentralizedResult, train_centralized
 from repro.fl.systems import DeviceProfile, NETWORK_PRESETS, SystemModel, RoundTime
@@ -58,6 +59,10 @@ __all__ = [
     "ProcessExecutor",
     "Simulation",
     "make_optimizer",
+    "AsyncFLEngine",
+    "ClientTimingModel",
+    "EventQueue",
+    "VirtualClock",
     "DeviceProfile",
     "NETWORK_PRESETS",
     "SystemModel",

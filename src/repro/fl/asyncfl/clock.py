@@ -1,0 +1,99 @@
+"""Deterministic virtual clock and client-finish event queue.
+
+The scheduler never sleeps: time is a number that only moves forward when
+an event is popped.  Determinism is the load-bearing property — a fixed
+seed must produce byte-identical histories — so the queue's ordering is
+fully specified: events pop by ``(time_s, client_id, seq)``.  Two clients
+finishing at exactly the same virtual instant pop in client-id order, and
+two events of one client (impossible today, cheap to guarantee anyway)
+pop in insertion order.  Nothing about ordering is left to ``heapq``
+internals or dict iteration.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["Event", "EventQueue", "VirtualClock"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """A client-finish event: at ``time_s`` client ``client_id`` reports in.
+
+    ``payload`` carries whatever the scheduler attached at dispatch time
+    (for the async engines: the eagerly computed ``TaskResult`` plus the
+    server version the client trained from).
+    """
+
+    time_s: float
+    client_id: int
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("event time must be non-negative")
+        if self.client_id < 0:
+            raise ValueError("client_id must be non-negative")
+
+
+class VirtualClock:
+    """Monotonic simulated time in seconds."""
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        self._now = float(start_s)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, time_s: float) -> float:
+        """Move the clock forward to ``time_s``; moving backward is a bug."""
+        if time_s < self._now - 1e-12:
+            raise ValueError(
+                f"virtual clock cannot run backward: at {self._now:.6f}s, "
+                f"asked for {time_s:.6f}s"
+            )
+        self._now = max(self._now, float(time_s))
+        return self._now
+
+
+@dataclass(order=True)
+class _Entry:
+    sort_key: Tuple[float, int, int]
+    event: Event = field(compare=False)
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` with fully specified ordering."""
+
+    def __init__(self) -> None:
+        self._heap: List[_Entry] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(
+            self._heap, _Entry((event.time_s, event.client_id, self._seq), event)
+        )
+
+    def peek(self) -> Optional[Event]:
+        """The next event without removing it, or None when empty."""
+        return self._heap[0].event if self._heap else None
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from an empty EventQueue")
+        return heapq.heappop(self._heap).event
+
+    def pop_until(self, deadline_s: float) -> Optional[Event]:
+        """Pop the next event iff it fires at or before ``deadline_s``."""
+        nxt = self.peek()
+        if nxt is None or nxt.time_s > deadline_s:
+            return None
+        return self.pop()

@@ -1,0 +1,57 @@
+"""Per-client task durations drawn from the device/network model.
+
+One :class:`ClientTimingModel` wraps a :class:`~repro.fl.systems.SystemModel`
+— the same presets (wifi / 4g / iot) and deterministic heterogeneity spread
+the synchronous path uses for its per-round wall-clock — and prices one
+client task as ``compute(flops) + transfer(bytes)`` on that client's
+:class:`~repro.fl.systems.DeviceProfile`.  Because the simulation trains a
+client *eagerly* at dispatch, durations are computed from the **measured**
+FLOPs/bytes of the finished update, not a prediction; the event scheduler
+then just files the result at ``dispatch_time + duration``.
+
+Using one model for both paths is what makes the sync-vs-async benchmark
+fair: a straggler takes the same simulated seconds whether the server waits
+for it (sync) or aggregates without it (semisync/async).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.fl.systems import DeviceProfile, SystemModel
+
+__all__ = ["ClientTimingModel"]
+
+
+class ClientTimingModel:
+    """Deterministic task durations for each client of one federation."""
+
+    def __init__(self, system: SystemModel) -> None:
+        self.system = system
+
+    @classmethod
+    def from_preset(
+        cls,
+        profiles: Union[str, DeviceProfile],
+        n_clients: int,
+        heterogeneity: float = 1.0,
+        seed: int = 0,
+    ) -> "ClientTimingModel":
+        """Build from a preset name / single profile (see NETWORK_PRESETS)."""
+        return cls(SystemModel(profiles, n_clients, heterogeneity=heterogeneity, seed=seed))
+
+    @property
+    def n_clients(self) -> int:
+        return len(self.system.profiles)
+
+    def profile(self, client_id: int) -> DeviceProfile:
+        return self.system.profiles[client_id]
+
+    def duration_s(self, client_id: int, flops: float, comm_bytes: float) -> float:
+        """Simulated seconds for one client task (local training + up/down
+        transfer), strictly positive so event times always advance."""
+        prof = self.profile(client_id)
+        return max(
+            prof.compute_time(float(flops)) + prof.transfer_time(float(comm_bytes)),
+            1e-9,
+        )

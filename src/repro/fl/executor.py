@@ -86,7 +86,10 @@ class ClientTaskSpec:
     backend never pickles it per client).  ``emulate_seconds`` optionally
     charges a wall-clock sleep per task, modelling device/network latency
     (see :mod:`repro.fl.systems`) so scheduling benchmarks can measure
-    backend overlap independently of raw FLOPs.
+    backend overlap independently of raw FLOPs.  ``xi_measured`` is the
+    scheduler-observed staleness of this client (server versions since its
+    last dispatch) when an event-driven mode runs the round; ``None`` in
+    the synchronous mode, where staleness is round arithmetic.
     """
 
     client_id: int
@@ -94,6 +97,7 @@ class ClientTaskSpec:
     state: Dict[str, Any]
     preamble_flops: float = 0.0
     emulate_seconds: float = 0.0
+    xi_measured: Optional[float] = None
 
 
 @dataclass
@@ -132,6 +136,7 @@ def build_round_context(
     round_idx: int,
     broadcast: Dict[str, Any],
     state: Dict[str, Any],
+    xi_measured: Optional[float] = None,
 ) -> ClientRoundContext:
     """Load the global weights into the worker model and assemble the
     per-client round context every strategy hook receives."""
@@ -151,6 +156,7 @@ def build_round_context(
         n_samples=client.num_samples,
         fp_flops_per_sample=runtime.fp_flops,
         server_broadcast=dict(broadcast),
+        xi_measured=xi_measured,
     )
 
 
@@ -161,7 +167,7 @@ def execute_task(task: ClientTaskSpec, worker: WorkerContext, runtime: TaskRunti
     client = runtime.clients[task.client_id]
     ctx = build_round_context(
         worker, runtime, task.client_id, task.round_idx,
-        runtime.server_broadcast, task.state,
+        runtime.server_broadcast, task.state, xi_measured=task.xi_measured,
     )
     update = run_client_round(client, runtime.strategy, ctx)
     update.flops += task.preamble_flops

@@ -61,6 +61,23 @@ class History:
     def comm_bytes(self) -> np.ndarray:
         return np.array([r.cumulative_comm_bytes for r in self.records], dtype=np.float64)
 
+    def virtual_times(self) -> np.ndarray:
+        """Simulated seconds at each round's aggregation (NaN where no
+        device/network model was attached)."""
+        return np.array(
+            [r.virtual_time_s if r.virtual_time_s is not None else np.nan
+             for r in self.records],
+            dtype=np.float64,
+        )
+
+    def staleness_values(self) -> np.ndarray:
+        """Every measured per-update staleness, flattened across rounds."""
+        out: List[float] = []
+        for r in self.records:
+            if r.update_staleness is not None:
+                out.extend(float(s) for s in r.update_staleness)
+        return np.array(out, dtype=np.float64)
+
     # -- derived metrics ------------------------------------------------------
     def ema_accuracy(self, alpha: float = 0.3) -> np.ndarray:
         """Exponential moving average of the accuracy curve (paper Fig. 5).
@@ -89,6 +106,22 @@ class History:
         if hits.size == 0:
             return None
         return int(self.records[hits[0]].round_idx) + 1
+
+    def time_to_accuracy(self, target: float) -> Optional[float]:
+        """Simulated seconds until the test accuracy first reaches
+        ``target``; ``None`` if never reached or no virtual clock was
+        recorded (runs without a device profile)."""
+        acc = self.accuracies()
+        hits = np.flatnonzero(acc >= target)
+        if hits.size == 0:
+            return None
+        t = self.records[hits[0]].virtual_time_s
+        return float(t) if t is not None else None
+
+    def mean_staleness(self) -> float:
+        """Mean measured per-update staleness (NaN when none recorded)."""
+        values = self.staleness_values()
+        return float(values.mean()) if values.size else float("nan")
 
     def flops_to_accuracy(self, target: float) -> Optional[float]:
         """Cumulative training GFLOPs consumed when ``target`` is first hit."""

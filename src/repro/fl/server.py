@@ -46,6 +46,25 @@ class Server:
     def _finite(update: ClientUpdate) -> bool:
         return all(np.isfinite(w).all() for w in update.weights)
 
+    def partition_finite(self, updates: Sequence[ClientUpdate]) -> List[ClientUpdate]:
+        """The non-finite drop policy, shared by every aggregation path
+        (synchronous rounds and the async engine's mixing): return the
+        healthy updates, logging any dropped client ids."""
+        healthy = [u for u in updates if self._finite(u)]
+        if len(healthy) < len(updates):
+            bad = sorted(u.client_id for u in updates if not self._finite(u))
+            _log.warning("round %d: dropping %d non-finite client update(s): %s",
+                         self.round_idx, len(updates) - len(healthy), bad)
+        return healthy
+
+    def skip_round(self) -> None:
+        """Abandon the current aggregation (every update was bad): keep the
+        global model, count the event, and advance the version."""
+        _log.error("round %d: every client update was non-finite; "
+                   "keeping previous global model", self.round_idx)
+        self.skipped_rounds += 1
+        self.round_idx += 1
+
     def apply_updates(self, updates: Sequence[ClientUpdate]) -> None:
         """Aggregate (Eq. 2) then let the strategy post-process, in place.
 
@@ -58,17 +77,9 @@ class Server:
         """
         if not updates:
             raise ValueError("cannot aggregate an empty update set")
-        healthy = [u for u in updates if self._finite(u)]
-        dropped = len(updates) - len(healthy)
-        if dropped:
-            bad = sorted(u.client_id for u in updates if not self._finite(u))
-            _log.warning("round %d: dropping %d non-finite client update(s): %s",
-                         self.round_idx, dropped, bad)
+        healthy = self.partition_finite(updates)
         if not healthy:
-            _log.error("round %d: every client update was non-finite; "
-                       "keeping previous global model", self.round_idx)
-            self.skipped_rounds += 1
-            self.round_idx += 1
+            self.skip_round()
             return
         old = self.weights
         new = self.strategy.aggregate(healthy, old, self.state, self.config)

@@ -72,7 +72,17 @@ class ClientUpdate:
 
 @dataclass
 class RoundRecord:
-    """Per-round metrics captured by the simulation."""
+    """Per-round metrics captured by the simulation.
+
+    ``wall_seconds`` is the *host* time the round took to simulate;
+    ``virtual_time_s`` is the *simulated* clock when the round's
+    aggregation landed, under the experiment's device/network model
+    (``None`` when no model is attached).  ``update_staleness`` holds the
+    measured per-aggregated-update staleness — server versions elapsed
+    between each update's dispatch and its arrival; always all-zero in the
+    synchronous mode, and the quantity the async modes' decayed mixing and
+    FedTrip's xi consume.
+    """
 
     round_idx: int
     selected: List[int]
@@ -82,6 +92,8 @@ class RoundRecord:
     cumulative_flops: float
     cumulative_comm_bytes: float
     wall_seconds: float
+    virtual_time_s: Optional[float] = None
+    update_staleness: Optional[List[int]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -93,4 +105,9 @@ class RoundRecord:
             "cumulative_flops": self.cumulative_flops,
             "cumulative_comm_bytes": self.cumulative_comm_bytes,
             "wall_seconds": self.wall_seconds,
+            "virtual_time_s": self.virtual_time_s,
+            "update_staleness": (
+                list(self.update_staleness)
+                if self.update_staleness is not None else None
+            ),
         }

@@ -52,6 +52,9 @@ def load_history(path: str) -> History:
                 cumulative_flops=float(rec["cumulative_flops"]),
                 cumulative_comm_bytes=float(rec["cumulative_comm_bytes"]),
                 wall_seconds=float(rec["wall_seconds"]),
+                # Virtual-clock fields postdate the format; old files omit them.
+                virtual_time_s=rec.get("virtual_time_s"),
+                update_staleness=rec.get("update_staleness"),
             )
         )
     return hist

@@ -17,12 +17,38 @@ def pytest_addoption(parser):
         help="execution backend the backend-sensitive smoke tests run on "
              "(CI runs the suite once more with --executor process)",
     )
+    parser.addoption(
+        "--mode",
+        default="sync",
+        choices=["sync", "semisync", "async"],
+        help="server mode the mode-sensitive smoke tests run on "
+             "(CI runs the suite once more with --mode semisync "
+             "--device-profile iot)",
+    )
+    parser.addoption(
+        "--device-profile",
+        default=None,
+        choices=["wifi", "4g", "iot"],
+        help="device/network preset for the mode-sensitive smoke tests",
+    )
 
 
 @pytest.fixture(scope="session")
 def executor_name(request):
     """The backend selected with ``--executor`` (default: serial)."""
     return request.config.getoption("--executor")
+
+
+@pytest.fixture(scope="session")
+def mode_name(request):
+    """The server mode selected with ``--mode`` (default: sync)."""
+    return request.config.getoption("--mode")
+
+
+@pytest.fixture(scope="session")
+def device_profile_name(request):
+    """The preset selected with ``--device-profile`` (default: None)."""
+    return request.config.getoption("--device-profile")
 
 
 @pytest.fixture

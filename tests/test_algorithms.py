@@ -93,12 +93,14 @@ class TestFedTripMath:
         class FakeCtx:
             round_idx = 7
             state = {"historical": ["x"], "last_round": 3}
+            xi_measured = None
 
         assert strat._xi(FakeCtx()) == 4.0
 
         class FreshCtx:
             round_idx = 7
             state = {"historical": None, "last_round": None}
+            xi_measured = None
 
         assert strat._xi(FreshCtx()) == 0.0
 
@@ -108,6 +110,7 @@ class TestFedTripMath:
         class Ctx:
             round_idx = 9
             state = {"historical": ["x"], "last_round": 1}
+            xi_measured = None
 
         assert strat._xi(Ctx()) == 0.7
 
@@ -117,6 +120,7 @@ class TestFedTripMath:
         class Ctx:
             round_idx = 6
             state = {"historical": ["x"], "last_round": 1}
+            xi_measured = None
 
         assert strat._xi(Ctx()) == pytest.approx(5 * 0.4)
 

@@ -98,5 +98,8 @@ class TestRoundRecordDict:
         assert set(d) == {
             "round", "selected", "test_accuracy", "test_loss",
             "mean_train_loss", "cumulative_flops", "cumulative_comm_bytes",
-            "wall_seconds",
+            "wall_seconds", "virtual_time_s", "update_staleness",
         }
+        # Virtual-clock fields default to None so sync-without-profile
+        # histories serialize exactly as before (modulo the new keys).
+        assert d["virtual_time_s"] is None and d["update_staleness"] is None
