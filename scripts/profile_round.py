@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Profile one engine round with cProfile and print the hot functions.
+
+The companion tool to ``benchmarks/bench_hot_path.py``: where the bench
+answers "how fast is the server path", this answers "where does a round
+actually spend its time".  It builds a small experiment, runs warmup
+rounds (pool/data startup excluded), profiles ``Engine.run_round`` and
+prints the top functions by cumulative time.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_round.py
+    PYTHONPATH=src python scripts/profile_round.py --clients 64 --rounds 5 \
+        --sort tottime --top 40
+    PYTHONPATH=src python scripts/profile_round.py --executor process --workers 2
+
+See docs/performance.md for how to read the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="tiny")
+    parser.add_argument("--model", default="mlp")
+    parser.add_argument("--method", default="fedavg")
+    parser.add_argument("--clients", type=int, default=16)
+    parser.add_argument("--clients-per-round", type=int, default=None,
+                        help="default: all clients every round")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="profiled rounds (after one warmup round)")
+    parser.add_argument("--batch-size", type=int, default=20)
+    parser.add_argument("--executor", default="serial",
+                        choices=["serial", "threaded", "process"])
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"])
+    parser.add_argument("--top", type=int, default=30)
+    args = parser.parse_args()
+
+    from repro.api import ExperimentSpec
+    from repro.api.engine import Engine
+
+    spec = ExperimentSpec(
+        dataset=args.dataset, model=args.model, method=args.method,
+        n_clients=args.clients,
+        clients_per_round=args.clients_per_round or args.clients,
+        rounds=args.rounds + 1, batch_size=args.batch_size,
+        eval_every=10_000,  # keep evaluation out of the profile
+    )
+    engine = Engine(
+        spec.build_data(), spec.build_strategy(), spec.build_config(),
+        model_name=spec.model, executor=args.executor, n_workers=args.workers,
+    )
+    try:
+        engine.run_round()  # warmup: JIT-free, but primes caches and pools
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        for _ in range(args.rounds):
+            engine.run_round()
+        profiler.disable()
+    finally:
+        engine.close()
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

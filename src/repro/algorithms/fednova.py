@@ -67,9 +67,27 @@ class FedNova(Strategy):
         ps = [u.num_samples / total for u in updates]
         taus = [float(u.extras["tau_eff"]) for u in updates]
         tau_eff = sum(p * t for p, t in zip(ps, taus))
+        scales = np.array(
+            [tau_eff * p / max(tau, 1e-12) for p, tau in zip(ps, taus)],
+            dtype=np.float64,
+        )
+        # w <- w - sum_k scale_k (w - w_k) = (1 - sum scale) w + scales @ M:
+        # the K client vectors stack into the pooled (K, P) matrix and the
+        # normalized reduction is a single GEMM (mixed dtypes fall back to
+        # the per-layer loop).
+        from repro.fl.params import as_flat, stack_updates
+        from repro.utils.vectorize import unflatten_like
+
+        g = as_flat(global_weights)
+        if g is not None:
+            mat = stack_updates(
+                [u.weights for u in updates], flats=[u.flat for u in updates]
+            )
+            flat = (1.0 - scales.sum()) * g.astype(np.float64) + scales @ mat
+            dtype = np.asarray(global_weights[0]).dtype
+            return unflatten_like(flat.astype(dtype), global_weights)
         out = [w.astype(np.float64, copy=True) for w in global_weights]
-        for u, p, tau in zip(updates, ps, taus):
-            scale = tau_eff * p / max(tau, 1e-12)
+        for u, scale in zip(updates, scales):
             for i, (gw, lw) in enumerate(zip(global_weights, u.weights)):
                 out[i] -= scale * (gw.astype(np.float64) - lw.astype(np.float64))
         return [o.astype(global_weights[i].dtype) for i, o in enumerate(out)]

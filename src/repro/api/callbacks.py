@@ -59,7 +59,14 @@ class Callback:
         updates: Sequence[ClientUpdate],
         global_weights: Sequence[np.ndarray],
     ) -> None:
-        pass
+        """Fires just before aggregation; ``global_weights`` is the
+        pre-aggregation global model.
+
+        The arrays are *live views* into the server's flat parameter
+        buffer, updated in place when aggregation lands: consume them
+        during the hook (as the built-ins do) or copy explicitly —
+        a retained reference will read as the post-aggregation model.
+        """
 
     def on_evaluate(
         self, engine, round_idx: int, accuracy: Optional[float], loss: Optional[float]

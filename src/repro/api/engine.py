@@ -198,7 +198,9 @@ class Engine:
             self.callbacks.append(EarlyStopping(target_accuracy=config.target_accuracy))
         # Legacy observers called with (updates, global_weights_before_
         # aggregation) every round; superseded by Callback.on_aggregate but
-        # kept so existing attach()-style diagnostics keep working.
+        # kept so existing attach()-style diagnostics keep working.  Same
+        # contract as that hook: the weight arrays are live views into the
+        # server's flat buffer — consume or copy, don't retain.
         self.update_observers: List = []
         self._stop_reason: Optional[str] = None
         self.system_model = system_model
@@ -303,8 +305,10 @@ class Engine:
     ) -> List[ClientUpdate]:
         """Phase 4: broadcast the global weights + server payload to the
         backend once, then train the selected clients as picklable task
-        payloads."""
-        self.executor.broadcast(self.server.weights, broadcast)
+        payloads.  The server's flat plane is handed over as-is: in-process
+        backends alias it (zero copies) and the process backend moves it
+        into shared memory with a single flat ``np.copyto``."""
+        self.executor.broadcast(self.server.plane, broadcast)
         tasks = [
             ClientTaskSpec(
                 client_id=k,

@@ -201,7 +201,7 @@ def _process_executor(engine, n_workers: int) -> ProcessExecutor:
     _reject_preamble(engine, "process")
     return ProcessExecutor(
         engine.process_worker_spec(),
-        initial_weights=engine.server.weights,
+        initial_weights=engine.server.plane,
         n_workers=max(1, n_workers),
     )
 

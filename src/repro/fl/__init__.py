@@ -2,8 +2,15 @@
 
 from repro.fl.types import FLConfig, ClientUpdate, RoundRecord
 from repro.fl.history import History
+from repro.fl.params import MatrixPool, ParamPlane, WeightLayout, as_flat, stack_updates
 from repro.fl.sampling import UniformSampler, WeightedSampler, FixedSampler
-from repro.fl.aggregation import fedavg_aggregate, uniform_aggregate, weighted_average_trees
+from repro.fl.aggregation import (
+    fedavg_aggregate,
+    uniform_aggregate,
+    weighted_average_flat,
+    weighted_average_trees,
+    weighted_average_trees_loop,
+)
 from repro.fl.client import Client, run_client_round
 from repro.fl.server import Server
 from repro.fl.evaluation import evaluate_model, full_batch_gradient
@@ -42,9 +49,16 @@ __all__ = [
     "UniformSampler",
     "WeightedSampler",
     "FixedSampler",
+    "MatrixPool",
+    "ParamPlane",
+    "WeightLayout",
+    "as_flat",
+    "stack_updates",
     "fedavg_aggregate",
     "uniform_aggregate",
+    "weighted_average_flat",
     "weighted_average_trees",
+    "weighted_average_trees_loop",
     "Client",
     "run_client_round",
     "Server",

@@ -1,4 +1,25 @@
-"""Server-side model aggregation."""
+"""Server-side model aggregation.
+
+The weighted average (Eq. 2) is the server's arithmetic hot path: every
+round it reduces K client models of P parameters each.  The historical
+implementation was a Python loop — K x L ``acc += w_k * arr`` axpys — whose
+interpreter overhead dominates once models are small relative to the cohort
+(exactly the paper's resource-efficiency regime).  The flat path stacks the
+K client vectors into one ``(K, P)`` float64 matrix (reused across rounds,
+see :class:`~repro.fl.params.MatrixPool`) and reduces it with a single
+``w @ M`` GEMM.
+
+``weighted_average_trees`` keeps its list-of-arrays signature — every
+strategy's ``aggregate`` continues to work unchanged — and dispatches to
+the GEMM path whenever the tree has one dtype.  The loop implementation
+survives as :func:`weighted_average_trees_loop`: it is the reference the
+equivalence tests and ``benchmarks/bench_hot_path.py`` compare against.
+
+Numerics: both paths accumulate in float64 and cast back to the tree dtype
+once; they agree to float64 rounding (BLAS may order the K-way reduction
+differently than the sequential loop).  Determinism holds because every
+executor and server mode shares this single code path.
+"""
 
 from __future__ import annotations
 
@@ -6,23 +27,99 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.fl.params import stack_updates
 from repro.fl.types import ClientUpdate
 
-__all__ = ["fedavg_aggregate", "uniform_aggregate", "weighted_average_trees"]
+__all__ = [
+    "fedavg_aggregate",
+    "uniform_aggregate",
+    "weighted_average_flat",
+    "weighted_average_trees",
+    "weighted_average_trees_loop",
+]
 
 
-def weighted_average_trees(
-    trees: Sequence[Sequence[np.ndarray]], weights: Sequence[float]
-) -> List[np.ndarray]:
-    """Weighted mean of parameter trees; weights are normalized to sum 1."""
-    if not trees:
-        raise ValueError("no trees to aggregate")
+def _normalized(weights: Sequence[float], n: int) -> np.ndarray:
     w = np.asarray(weights, dtype=np.float64)
-    if w.size != len(trees):
+    if w.size != n:
         raise ValueError("one weight per tree required")
     if (w < 0).any() or w.sum() <= 0:
         raise ValueError("weights must be non-negative with positive sum")
-    w = w / w.sum()
+    return w / w.sum()
+
+
+def weighted_average_flat(mat: np.ndarray, weights: Sequence[float]) -> np.ndarray:
+    """Weighted mean of K stacked flat vectors: one ``w @ M`` GEMM.
+
+    ``mat`` is ``(K, P)``; returns the ``(P,)`` float64 combination with
+    ``weights`` normalized to sum 1.
+    """
+    return _normalized(weights, mat.shape[0]) @ mat
+
+
+def _check_structure(
+    trees: Sequence[Sequence[np.ndarray]],
+    flats: Optional[Sequence[Optional[np.ndarray]]],
+) -> None:
+    """Every tree must match the first layer-for-layer (the loop path got
+    this for free from broadcasting; the flat path must check explicitly —
+    two trees of equal total size but different layer shapes would
+    otherwise average element-order-scrambled).  Rows backed by a cached
+    flat vector (``ClientUpdate.from_flat`` guarantees tree/flat
+    consistency) only need the arity check, keeping the hot path free of
+    K x L shape walks."""
+    shapes = [np.shape(a) for a in trees[0]]
+    for i, tree in enumerate(trees):
+        if i and len(tree) != len(shapes):
+            raise ValueError("tree structure mismatch")
+        if (flats is None or flats[i] is None) and any(
+            np.shape(a) != s for a, s in zip(tree, shapes)
+        ):
+            raise ValueError("tree structure mismatch")
+
+
+def weighted_average_trees(
+    trees: Sequence[Sequence[np.ndarray]],
+    weights: Sequence[float],
+    flats: Optional[Sequence[Optional[np.ndarray]]] = None,
+) -> List[np.ndarray]:
+    """Weighted mean of parameter trees; weights are normalized to sum 1.
+
+    ``flats`` optionally carries a precomputed flat vector per tree (the
+    :class:`~repro.fl.types.ClientUpdate` fast path) so stacking skips
+    re-flattening.  Mixed-dtype trees fall back to the per-layer loop.
+    """
+    if not trees:
+        raise ValueError("no trees to aggregate")
+    first = trees[0]
+    dtypes = {np.asarray(a).dtype for a in first}
+    if len(dtypes) != 1:
+        return weighted_average_trees_loop(trees, weights)
+    w = _normalized(weights, len(trees))
+    _check_structure(trees, flats)
+    mat = stack_updates(trees, flats=flats)
+    flat = w @ mat
+    dtype = next(iter(dtypes))
+    out: List[np.ndarray] = []
+    cursor = 0
+    for a in first:
+        a = np.asarray(a)
+        out.append(flat[cursor : cursor + a.size].reshape(a.shape).astype(dtype))
+        cursor += a.size
+    return out
+
+
+def weighted_average_trees_loop(
+    trees: Sequence[Sequence[np.ndarray]], weights: Sequence[float]
+) -> List[np.ndarray]:
+    """Reference per-layer loop implementation (pre-GEMM server path).
+
+    Kept for the loop-vs-GEMM equivalence tests, as the baseline leg of
+    ``benchmarks/bench_hot_path.py``, and as the mixed-dtype fallback.
+    """
+    if not trees:
+        raise ValueError("no trees to aggregate")
+    w = _normalized(weights, len(trees))
     out = [np.zeros_like(a, dtype=np.float64) for a in trees[0]]
     for tree, wk in zip(trees, w):
         if len(tree) != len(out):
@@ -32,17 +129,23 @@ def weighted_average_trees(
     return [a.astype(trees[0][i].dtype) for i, a in enumerate(out)]
 
 
+def _average_updates(updates: Sequence[ClientUpdate], weights: Sequence[float]) -> List[np.ndarray]:
+    return weighted_average_trees(
+        [u.weights for u in updates],
+        weights,
+        flats=[u.flat for u in updates],
+    )
+
+
 def fedavg_aggregate(updates: Sequence[ClientUpdate]) -> List[np.ndarray]:
     """FedAvg: weights proportional to client sample counts (Eq. 2)."""
     if not updates:
         raise ValueError("no client updates to aggregate")
-    return weighted_average_trees(
-        [u.weights for u in updates], [u.num_samples for u in updates]
-    )
+    return _average_updates(updates, [u.num_samples for u in updates])
 
 
 def uniform_aggregate(updates: Sequence[ClientUpdate]) -> List[np.ndarray]:
     """Unweighted mean over participating clients."""
     if not updates:
         raise ValueError("no client updates to aggregate")
-    return weighted_average_trees([u.weights for u in updates], [1.0] * len(updates))
+    return _average_updates(updates, [1.0] * len(updates))

@@ -214,7 +214,7 @@ class AsyncFLEngine(Engine):
             return
         version = self.server.round_idx
         if self._broadcast_version != version:
-            self.executor.broadcast(self.server.weights, self.server.broadcast_payload())
+            self.executor.broadcast(self.server.plane, self.server.broadcast_payload())
             self._broadcast_version = version
         tasks = []
         for client_id in client_ids:
@@ -287,7 +287,12 @@ class AsyncFLEngine(Engine):
 
     def _apply_async(self, round_idx: int, batch: List[_Arrival]) -> None:
         """FedAsync-style mixing: sequentially fold each update into the
-        global model with weight ``alpha * (1 + staleness)^(-poly)``."""
+        global model with weight ``alpha * (1 + staleness)^(-poly)``.
+
+        Runs on the flat parameter vectors — one float64 accumulator folds
+        the whole batch, written back to the server's plane once — with the
+        tree-pair average kept as the mixed-dtype fallback.
+        """
         updates = [a.update for a in batch]
         self._fire("on_aggregate", round_idx, updates, self.server.weights)
         for observer in self.update_observers:
@@ -298,13 +303,24 @@ class AsyncFLEngine(Engine):
         if not healthy:
             self.server.skip_round()
             return
-        weights = self.server.weights
-        for a in healthy:
-            alpha = self.async_alpha * (1.0 + a.staleness) ** (-self.async_poly)
-            weights = weighted_average_trees(
-                [weights, a.update.weights], [1.0 - alpha, alpha]
-            )
-        self.server.weights = weights
+        flat = self.server.plane.flat
+        if flat is not None and all(a.update.flat_vector() is not None for a in healthy):
+            acc = flat.astype(np.float64)
+            for a in healthy:
+                alpha = self.async_alpha * (1.0 + a.staleness) ** (-self.async_poly)
+                acc *= 1.0 - alpha
+                # cast before scaling so the product is formed in float64,
+                # matching the tree fallback's precision
+                acc += alpha * a.update.flat_vector().astype(np.float64)
+            self.server.plane.copy_from_flat(acc)
+        else:  # pragma: no cover - models are uniformly float32
+            weights = self.server.weights
+            for a in healthy:
+                alpha = self.async_alpha * (1.0 + a.staleness) ** (-self.async_poly)
+                weights = weighted_average_trees(
+                    [weights, a.update.weights], [1.0 - alpha, alpha]
+                )
+            self.server.weights = weights
         self.server.round_idx += 1
 
     # ------------------------------------------------------------------

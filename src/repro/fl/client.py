@@ -92,9 +92,15 @@ def run_client_round(
     bytes_per_w = 4.0  # float32
     comm = (2.0 + strategy.extra_comm_units()) * n_params * bytes_per_w
 
-    return ClientUpdate(
+    # Snapshot the trained model as one flat vector: the update's tree
+    # becomes zero-copy views of it, and the server-side hot path
+    # (finite check, GEMM aggregation, privacy/compression wrappers)
+    # consumes the vector directly.
+    flat, shapes = model.get_weights_flat()
+    return ClientUpdate.from_flat(
+        flat,
+        shapes,
         client_id=client.id,
-        weights=model.get_weights(),
         num_samples=client.num_samples,
         train_loss=float(np.mean(losses)) if losses else float("nan"),
         extras=dict(ctx.upload_extras),

@@ -23,6 +23,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.fl.params import as_flat
 from repro.utils.vectorize import flatten_arrays, unflatten_like
 
 __all__ = ["QuantizationCompressor", "TopKCompressor", "CompressedExchange"]
@@ -45,8 +46,9 @@ class QuantizationCompressor:
     def levels(self) -> int:
         return (1 << self.bits) - 1
 
-    def encode(self, tree: Sequence[np.ndarray]) -> Tuple[dict, float]:
-        flat = flatten_arrays(tree).astype(np.float64)
+    def encode_flat(self, flat: np.ndarray) -> Tuple[dict, float]:
+        """Quantize one flat update vector (the native entry point)."""
+        flat = np.asarray(flat, dtype=np.float64)
         scale = float(np.max(np.abs(flat))) if flat.size else 0.0
         if scale == 0.0:
             q = np.zeros(flat.size, dtype=np.uint16)
@@ -58,11 +60,17 @@ class QuantizationCompressor:
         nbytes = flat.size * self.bits / 8.0 + 8
         return payload, nbytes
 
-    def decode(self, payload: dict, template: Sequence[np.ndarray]) -> List[np.ndarray]:
+    def decode_flat(self, payload: dict) -> np.ndarray:
+        """Dequantize back to one float32 flat vector."""
         q = payload["q"].astype(np.float64)
-        scale = payload["scale"]
-        flat = (q / self.levels * 2.0 - 1.0) * scale
-        return [a.astype(np.float32) for a in unflatten_like(flat.astype(np.float32), template)]
+        flat = (q / self.levels * 2.0 - 1.0) * payload["scale"]
+        return flat.astype(np.float32)
+
+    def encode(self, tree: Sequence[np.ndarray]) -> Tuple[dict, float]:
+        return self.encode_flat(flatten_arrays(tree))
+
+    def decode(self, payload: dict, template: Sequence[np.ndarray]) -> List[np.ndarray]:
+        return [a.astype(np.float32) for a in unflatten_like(self.decode_flat(payload), template)]
 
 
 class TopKCompressor:
@@ -73,18 +81,25 @@ class TopKCompressor:
             raise ValueError("fraction must be in (0, 1]")
         self.fraction = float(fraction)
 
-    def encode(self, tree: Sequence[np.ndarray]) -> Tuple[dict, float]:
-        flat = flatten_arrays(tree)
+    def encode_flat(self, flat: np.ndarray) -> Tuple[dict, float]:
+        """Sparsify one flat update vector (the native entry point)."""
         k = max(1, int(round(self.fraction * flat.size)))
         idx = np.argpartition(np.abs(flat), -k)[-k:]
         payload = {"idx": idx.astype(np.int64), "val": flat[idx], "size": flat.size}
         nbytes = k * (4 + 4)  # 4-byte index + float32 value per entry
         return payload, float(nbytes)
 
-    def decode(self, payload: dict, template: Sequence[np.ndarray]) -> List[np.ndarray]:
+    def decode_flat(self, payload: dict) -> np.ndarray:
+        """Scatter the kept entries back into a dense float32 flat vector."""
         flat = np.zeros(payload["size"], dtype=np.float32)
         flat[payload["idx"]] = payload["val"]
-        return unflatten_like(flat, template)
+        return flat
+
+    def encode(self, tree: Sequence[np.ndarray]) -> Tuple[dict, float]:
+        return self.encode_flat(flatten_arrays(tree))
+
+    def decode(self, payload: dict, template: Sequence[np.ndarray]) -> List[np.ndarray]:
+        return unflatten_like(self.decode_flat(payload), template)
 
 
 @dataclass
@@ -173,8 +188,32 @@ class CompressedUploadWrapper:
         from repro.fl.types import ClientUpdate  # local import, no cycle
 
         n_params = sum(w.size for w in global_weights)
+        # Flat fast path: the round-trip (delta -> encode -> decode ->
+        # reconstruct) is four vector expressions per update; the per-layer
+        # loop remains as the mixed-dtype fallback.
+        g_flat = as_flat(global_weights)
+        shapes = [np.shape(g) for g in global_weights]
         reconstructed = []
         for u in updates:
+            u_flat = u.flat_vector()
+            if g_flat is not None and u_flat is not None:
+                payload, nbytes = self.compressor.encode_flat(u_flat - g_flat)
+                back = self.compressor.decode_flat(payload).astype(g_flat.dtype)
+                back += g_flat
+                u.comm_bytes = n_params * 4.0 + float(nbytes)
+                reconstructed.append(
+                    ClientUpdate.from_flat(
+                        back,
+                        shapes,
+                        client_id=u.client_id,
+                        num_samples=u.num_samples,
+                        train_loss=u.train_loss,
+                        extras=u.extras,
+                        flops=u.flops,
+                        comm_bytes=u.comm_bytes,
+                    )
+                )
+                continue
             delta = [w - g for w, g in zip(u.weights, global_weights)]
             payload, nbytes = self.compressor.encode(delta)
             back = self.compressor.decode(payload, delta)

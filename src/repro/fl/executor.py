@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.algorithms.base import ClientRoundContext, Strategy
 from repro.fl.client import Client, run_client_round
+from repro.fl.params import ParamPlane
 from repro.fl.types import ClientUpdate, FLConfig
 from repro.models.fedmodel import FedModel
 from repro.nn.losses import CrossEntropyLoss
@@ -45,10 +46,20 @@ __all__ = [
     "TaskRuntime",
     "SerialExecutor",
     "ThreadedExecutor",
+    "broadcast_tree",
     "build_round_context",
     "execute_task",
     "make_optimizer",
 ]
+
+
+def broadcast_tree(weights) -> List[np.ndarray]:
+    """Normalize a broadcast argument — a :class:`~repro.fl.params.ParamPlane`
+    (the engine's zero-churn path) or a plain weight tree — to the per-layer
+    view list executors hand to workers."""
+    if isinstance(weights, ParamPlane):
+        return weights.tree
+    return weights
 
 
 def make_optimizer(name: str, params, config: FLConfig):
@@ -197,12 +208,13 @@ class SerialExecutor:
         one; callers must not hold it across ``run()`` calls."""
         return self._worker
 
-    def broadcast(self, weights: List[np.ndarray],
+    def broadcast(self, weights,
                   payload: Optional[Dict[str, Any]] = None) -> None:
-        """Point this round's tasks at the new global weights and server
+        """Point this round's tasks at the new global weights (a
+        :class:`~repro.fl.params.ParamPlane` or weight tree) and server
         broadcast payload (no copies)."""
         runtime = self._require_runtime()
-        runtime.global_weights = weights
+        runtime.global_weights = broadcast_tree(weights)
         runtime.server_broadcast = payload if payload is not None else {}
 
     def _require_runtime(self) -> TaskRuntime:
@@ -247,13 +259,14 @@ class ThreadedExecutor:
         model for out-of-band work must build their own replica."""
         return None
 
-    def broadcast(self, weights: List[np.ndarray],
+    def broadcast(self, weights,
                   payload: Optional[Dict[str, Any]] = None) -> None:
-        """Point this round's tasks at the new global weights and server
+        """Point this round's tasks at the new global weights (a
+        :class:`~repro.fl.params.ParamPlane` or weight tree) and server
         broadcast payload (no copies)."""
         if self.runtime is None:
             raise RuntimeError("executor was constructed without a TaskRuntime")
-        self.runtime.global_weights = weights
+        self.runtime.global_weights = broadcast_tree(weights)
         self.runtime.server_broadcast = payload if payload is not None else {}
 
     def _run_one(self, task: ClientTaskSpec) -> TaskResult:

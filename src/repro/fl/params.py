@@ -1,0 +1,299 @@
+"""The canonical flat-parameter representation of model state.
+
+The server-side hot path — aggregate K client models, broadcast the new
+global model — is dominated by memory traffic, not math.  Treating model
+state as a Python list of per-layer arrays makes every one of those steps a
+Python loop (K clients x L layers for aggregation, L copies per broadcast).
+This module makes **one contiguous buffer** the canonical in-memory form of
+a weight tree so the hot path collapses to single vectorized operations:
+
+* :class:`WeightLayout` — the immutable byte layout of a weight tree
+  (shape/dtype/offset per array).  When every array shares one dtype the
+  layout is *packed*: zero padding, and the whole buffer is addressable as
+  a single 1-D ``flat`` vector of ``total_elems`` elements.
+* :class:`ParamPlane` — a layout plus one owned buffer, exposing the same
+  memory as (a) per-layer reshaped views (``plane.tree`` — drop-in for the
+  old list-of-arrays) and (b) the flat vector (``plane.flat``).  Writing
+  through either view is visible through the other; broadcast is one
+  ``np.copyto``.
+* :func:`stack_updates` — gather K client updates into a ``(K, P)`` float64
+  matrix (reused across rounds via :class:`MatrixPool`), the input format
+  of the GEMM aggregation in :mod:`repro.fl.aggregation`.
+
+The process executor's shared-memory segment uses the same layout, so the
+server->worker broadcast is a single flat copy as well (see
+:mod:`repro.fl.process_executor`).
+
+Mixed-dtype trees (rare — models in this codebase are uniformly float32)
+remain fully supported: the layout falls back to max-itemsize alignment and
+``flat`` is unavailable, in which case callers use the per-layer views.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.vectorize import flatten_arrays, flatten_into
+
+__all__ = [
+    "WeightLayout",
+    "ParamPlane",
+    "MatrixPool",
+    "as_flat",
+    "stack_updates",
+]
+
+
+@dataclass(frozen=True)
+class WeightLayout:
+    """Flat-buffer layout of a weight tree: (shape, dtype, offset) triples.
+
+    ``offsets`` are byte offsets into the buffer; ``sizes`` are element
+    counts per array.  A *packed* layout (single dtype, no padding) also
+    defines the element-space view: array ``i`` occupies elements
+    ``[elem_offsets[i], elem_offsets[i] + sizes[i])`` of the flat vector.
+    """
+
+    shapes: Tuple[Tuple[int, ...], ...]
+    dtypes: Tuple[str, ...]
+    offsets: Tuple[int, ...]
+    total_bytes: int
+
+    @classmethod
+    def from_weights(cls, weights: Sequence[np.ndarray]) -> "WeightLayout":
+        arrays = [np.asarray(w) for w in weights]
+        # Align each array to the largest itemsize present.  For the common
+        # homogeneous case every offset is a dtype multiple already, so the
+        # layout packs with zero padding and stays flat-addressable.
+        align = max((a.dtype.itemsize for a in arrays), default=1)
+        shapes, dtypes, offsets = [], [], []
+        cursor = 0
+        for a in arrays:
+            cursor = (cursor + align - 1) // align * align
+            shapes.append(tuple(a.shape))
+            dtypes.append(a.dtype.str)
+            offsets.append(cursor)
+            cursor += a.nbytes
+        return cls(tuple(shapes), tuple(dtypes), tuple(offsets), max(cursor, 1))
+
+    # -- derived structure -------------------------------------------------
+    @property
+    def n_arrays(self) -> int:
+        return len(self.shapes)
+
+    @property
+    def sizes(self) -> Tuple[int, ...]:
+        return tuple(int(np.prod(s, dtype=np.int64)) for s in self.shapes)
+
+    @property
+    def total_elems(self) -> int:
+        return sum(self.sizes)
+
+    @property
+    def is_packed(self) -> bool:
+        """Single dtype, zero padding: the buffer is one flat vector."""
+        if not self.shapes:
+            return False
+        if len(set(self.dtypes)) != 1:
+            return False
+        itemsize = np.dtype(self.dtypes[0]).itemsize
+        cursor = 0
+        for offset, size in zip(self.offsets, self.sizes):
+            if offset != cursor:
+                return False
+            cursor += size * itemsize
+        return True
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The common dtype of a packed layout."""
+        if not self.is_packed:
+            raise ValueError("layout is not packed (mixed dtypes or padding)")
+        return np.dtype(self.dtypes[0])
+
+    # -- views over an external buffer -------------------------------------
+    def views(self, buf, writeable: bool) -> List[np.ndarray]:
+        """NumPy views over ``buf`` (any buffer object), one per array."""
+        out = []
+        for shape, dtype, offset in zip(self.shapes, self.dtypes, self.offsets):
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=buf, offset=offset)
+            view.flags.writeable = writeable
+            out.append(view)
+        return out
+
+    def flat_view(self, buf, writeable: bool) -> np.ndarray:
+        """The whole buffer as one 1-D vector (packed layouts only)."""
+        view = np.ndarray((self.total_elems,), dtype=self.dtype, buffer=buf)
+        view.flags.writeable = writeable
+        return view
+
+    def tree_of(self, flat: np.ndarray) -> List[np.ndarray]:
+        """Per-layer reshaped views of an existing flat vector (no copies)."""
+        if flat.ndim != 1 or flat.size != self.total_elems:
+            raise ValueError(
+                f"flat vector has shape {flat.shape}, layout needs ({self.total_elems},)"
+            )
+        out: List[np.ndarray] = []
+        cursor = 0
+        for shape, size in zip(self.shapes, self.sizes):
+            out.append(flat[cursor : cursor + size].reshape(shape))
+            cursor += size
+        return out
+
+    def check_tree(self, tree: Sequence[np.ndarray]) -> None:
+        """Validate shapes against the layout (dtype casts are allowed)."""
+        if len(tree) != self.n_arrays:
+            raise ValueError(
+                f"weight tree has {len(tree)} arrays, layout expects {self.n_arrays}"
+            )
+        for i, (a, shape) in enumerate(zip(tree, self.shapes)):
+            if tuple(np.shape(a)) != shape:
+                raise ValueError(
+                    f"array {i} has shape {np.shape(a)}, layout expects {shape}"
+                )
+
+
+class ParamPlane:
+    """One contiguous buffer holding a whole weight tree.
+
+    The plane owns its memory; ``tree`` (per-layer views) and ``flat``
+    (the 1-D vector, packed layouts only) alias it, so an in-place write
+    through any of the three is immediately visible through the others.
+    This is what lets the server keep *one* global weight buffer for the
+    lifetime of a run: aggregation writes it once per round, and every
+    consumer (evaluation, executor broadcast, strategy hooks) reads views
+    that never churn.
+    """
+
+    def __init__(self, layout: WeightLayout) -> None:
+        self.layout = layout
+        self._buf = np.zeros(layout.total_bytes, dtype=np.uint8)
+        #: stable per-layer views; identity is preserved across rounds.
+        self.tree: List[np.ndarray] = layout.views(self._buf.data, writeable=True)
+        #: the canonical flat vector (None for mixed-dtype layouts).
+        self.flat: Optional[np.ndarray] = (
+            layout.flat_view(self._buf.data, writeable=True) if layout.is_packed else None
+        )
+
+    @classmethod
+    def from_tree(cls, tree: Sequence[np.ndarray]) -> "ParamPlane":
+        plane = cls(WeightLayout.from_weights(tree))
+        plane.copy_from_tree(tree)
+        return plane
+
+    @property
+    def n_params(self) -> int:
+        return self.layout.total_elems
+
+    def bytes_view(self) -> np.ndarray:
+        """The raw buffer as uint8 — one memcpy moves the whole model."""
+        return self._buf
+
+    # -- writes ------------------------------------------------------------
+    def copy_from_tree(self, tree: Sequence[np.ndarray]) -> None:
+        """Copy a weight tree into the plane (casting per layer if needed)."""
+        self.layout.check_tree(tree)
+        for view, w in zip(self.tree, tree):
+            np.copyto(view, w, casting="same_kind")
+
+    def copy_from_flat(self, flat: np.ndarray) -> None:
+        """Copy a flat vector into the plane (packed layouts only)."""
+        if self.flat is None:
+            raise ValueError("layout is not packed; use copy_from_tree")
+        np.copyto(self.flat, flat, casting="same_kind")
+
+    # -- reads -------------------------------------------------------------
+    def tree_copy(self) -> List[np.ndarray]:
+        return [np.array(v, copy=True) for v in self.tree]
+
+    def flat_copy(self) -> np.ndarray:
+        if self.flat is None:
+            raise ValueError("layout is not packed")
+        return self.flat.copy()
+
+
+class MatrixPool:
+    """Round-persistent scratch matrices for the GEMM aggregation path.
+
+    The aggregation hot path stacks K client vectors into one ``(K, P)``
+    float64 matrix every round.  K and P are constant for a run, so the
+    pool hands back the same allocation round after round instead of
+    churning ~K*P*8 bytes per aggregation.  Keyed by shape; one entry per
+    live shape (a run has one, two when privacy/compression wrappers stack
+    their own deltas).
+
+    A matrix returned by :meth:`take` is **scratch**: it is valid until the
+    next ``take`` of the same shape, so callers must consume (reduce) it
+    before triggering another aggregation.  The module-level default pool
+    is therefore *thread-local* — engines aggregating concurrently in
+    separate threads never share scratch.
+    """
+
+    def __init__(self, max_entries: int = 4) -> None:
+        self._max = max_entries
+        self._pool: Dict[Tuple[int, int], np.ndarray] = {}
+
+    def take(self, k: int, p: int) -> np.ndarray:
+        mat = self._pool.get((k, p))
+        if mat is None:
+            if len(self._pool) >= self._max:
+                self._pool.clear()
+            mat = np.empty((k, p), dtype=np.float64)
+            self._pool[(k, p)] = mat
+        return mat
+
+    def clear(self) -> None:
+        self._pool.clear()
+
+
+_POOLS = threading.local()
+
+
+def _default_pool() -> MatrixPool:
+    pool = getattr(_POOLS, "pool", None)
+    if pool is None:
+        pool = _POOLS.pool = MatrixPool()
+    return pool
+
+
+def as_flat(tree: Sequence[np.ndarray]) -> Optional[np.ndarray]:
+    """One freshly allocated flat copy of a homogeneous-dtype tree, or
+    ``None`` when dtypes are mixed (callers then take their per-layer
+    fallback).  The shared predicate behind every flat fast path."""
+    arrays = [np.asarray(a) for a in tree]
+    if arrays and len({a.dtype for a in arrays}) == 1:
+        return flatten_arrays(arrays)
+    return None
+
+
+def stack_updates(
+    trees: Sequence[Sequence[np.ndarray]],
+    flats: Optional[Sequence[Optional[np.ndarray]]] = None,
+    pool: Optional[MatrixPool] = None,
+) -> np.ndarray:
+    """Stack K weight trees into the pooled ``(K, P)`` float64 matrix.
+
+    ``flats`` optionally supplies a precomputed flat vector per tree (the
+    :class:`~repro.fl.types.ClientUpdate` fast path); rows with ``None``
+    fall back to flattening the tree.  The returned matrix is pool scratch
+    (see :class:`MatrixPool`): reduce it before stacking again.
+    """
+    if not trees:
+        raise ValueError("no trees to stack")
+    sizes = [int(np.asarray(a).size) for a in trees[0]]
+    p = sum(sizes)
+    pool = pool if pool is not None else _default_pool()
+    mat = pool.take(len(trees), p)
+    for i, tree in enumerate(trees):
+        flat = flats[i] if flats is not None else None
+        if flat is not None and flat.size == p:
+            mat[i] = flat
+        else:
+            if len(tree) != len(sizes):
+                raise ValueError("tree structure mismatch")
+            flatten_into(mat[i], tree)
+    return mat

@@ -22,20 +22,28 @@ from typing import Any, Dict, List, Sequence
 import numpy as np
 
 from repro.algorithms.base import Strategy
+from repro.fl.params import as_flat
 from repro.fl.types import ClientUpdate, FLConfig
 from repro.utils.rng import RngStream
-from repro.utils.vectorize import tree_copy, tree_sq_norm
+from repro.utils.vectorize import tree_copy, tree_sq_norm, unflatten_like
 
 __all__ = ["GaussianMechanism", "PrivacyAccountant", "PrivateAggregationWrapper"]
 
 
 class GaussianMechanism:
-    """Clip an update tree to ``clip_norm`` and add Gaussian noise.
+    """Clip an update to ``clip_norm`` and add Gaussian noise.
 
     ``noise_multiplier`` is sigma in units of the clip norm (the standard
     parameterization): per-coordinate noise std = ``noise_multiplier *
     clip_norm``.  Noise is drawn from a dedicated stream keyed by
     ``(round, client)`` for reproducibility.
+
+    The mechanism natively operates on one flat vector
+    (:meth:`clip_flat` / :meth:`privatize_flat` — two vectorized
+    expressions, no per-layer loops); the tree API wraps the flat path,
+    falling back to per-layer arithmetic only for mixed-dtype trees.  Both
+    produce identical values: a generator draws the same normal stream
+    whether requested per layer or in one flat call.
     """
 
     def __init__(self, clip_norm: float, noise_multiplier: float, seed: int = 0) -> None:
@@ -47,8 +55,38 @@ class GaussianMechanism:
         self.noise_multiplier = float(noise_multiplier)
         self._root = RngStream(seed).child("dp")
 
+    # ---- flat fast path --------------------------------------------------
+    def clip_flat(self, update: np.ndarray, copy: bool = True) -> np.ndarray:
+        """Scale a flat update so its L2 norm is at most ``clip_norm``.
+
+        ``copy=False`` clips in place — for callers that own the vector
+        (a fresh flatten or a delta temporary) and want to skip the
+        defensive allocation.
+        """
+        v64 = update.astype(np.float64, copy=False)
+        norm = math.sqrt(float(np.dot(v64, v64)))
+        out = update.copy() if copy else update
+        if norm > self.clip_norm:
+            out *= self.clip_norm / norm
+        return out
+
+    def privatize_flat(
+        self, update: np.ndarray, round_idx: int, client_id: int, copy: bool = True
+    ) -> np.ndarray:
+        """Clip then add N(0, (sigma C)^2) per coordinate, on the vector."""
+        out = self.clip_flat(update, copy=copy)
+        if self.noise_multiplier > 0:
+            rng = self._root.child(round_idx, client_id).generator
+            std = self.noise_multiplier * self.clip_norm
+            out += std * rng.standard_normal(out.size).astype(out.dtype)
+        return out
+
+    # ---- tree compatibility API ------------------------------------------
     def clip(self, update: Sequence[np.ndarray]) -> List[np.ndarray]:
         """Scale the tree so its global L2 norm is at most ``clip_norm``."""
+        flat = as_flat(update)
+        if flat is not None:  # as_flat returned fresh memory: clip in place
+            return unflatten_like(self.clip_flat(flat, copy=False), update)
         norm = math.sqrt(tree_sq_norm(update))
         out = tree_copy(update)
         if norm > self.clip_norm:
@@ -61,6 +99,10 @@ class GaussianMechanism:
         self, update: Sequence[np.ndarray], round_idx: int, client_id: int
     ) -> List[np.ndarray]:
         """Clip then add N(0, (sigma C)^2) per coordinate."""
+        flat = as_flat(update)
+        if flat is not None:
+            return unflatten_like(
+                self.privatize_flat(flat, round_idx, client_id, copy=False), update)
         out = self.clip(update)
         if self.noise_multiplier > 0:
             rng = self._root.child(round_idx, client_id).generator
@@ -177,8 +219,33 @@ class PrivateAggregationWrapper(Strategy):
     # ---- the privacy boundary ---------------------------------------------
     def aggregate(self, updates: Sequence[ClientUpdate], global_weights, server_state, config):
         round_idx = server_state.get("_dp_round", 0)
+        # Flatten the global model once per round; each update is then three
+        # vector expressions (delta, privatize, reassemble) instead of
+        # 3 x L per-layer loops.
+        g_flat = as_flat(global_weights)
+        shapes = [np.shape(g) for g in global_weights]
         private_updates = []
         for u in updates:
+            u_flat = u.flat_vector()
+            if g_flat is not None and u_flat is not None:
+                # the delta is a fresh temporary; privatize it in place
+                noised = self.mechanism.privatize_flat(
+                    u_flat - g_flat, round_idx, u.client_id, copy=False
+                )
+                noised += g_flat
+                private_updates.append(
+                    ClientUpdate.from_flat(
+                        noised,
+                        shapes,
+                        client_id=u.client_id,
+                        num_samples=u.num_samples,
+                        train_loss=u.train_loss,
+                        extras=u.extras,
+                        flops=u.flops,
+                        comm_bytes=u.comm_bytes,
+                    )
+                )
+                continue
             delta = [w - g for w, g in zip(u.weights, global_weights)]
             noised = self.mechanism.privatize(delta, round_idx, u.client_id)
             private_updates.append(

@@ -8,8 +8,11 @@ of pickling the full global model into every client task it broadcasts the
 weights **once per round** through a ``multiprocessing.shared_memory`` flat
 buffer:
 
-* the server side does one ``np.copyto`` per parameter array per round into
-  the shared segment (:meth:`ProcessExecutor.broadcast`);
+* the server side does **one** ``np.copyto`` per round into the shared
+  segment (:meth:`ProcessExecutor.broadcast`): the engine's
+  :class:`~repro.fl.params.ParamPlane` and the segment share the same
+  :class:`~repro.fl.params.WeightLayout`, so the whole model moves as a
+  single flat byte copy;
 * every worker holds *read-only* NumPy views into the same segment, so
   reading the global weights is zero-copy — ``set_weights`` copies them into
   the worker's model exactly as the in-process backends do.
@@ -45,45 +48,15 @@ from repro.fl.executor import (
     execute_task,
     make_optimizer,
 )
+# WeightLayout's home is repro.fl.params since the flat-parameter refactor;
+# re-exported here for backward compatibility.
+from repro.fl.params import ParamPlane, WeightLayout
 from repro.fl.types import FLConfig
 from repro.models import build_model
 from repro.nn.losses import CrossEntropyLoss
 from repro.utils.rng import RngStream
 
 __all__ = ["WeightLayout", "ProcessWorkerSpec", "ProcessExecutor"]
-
-
-@dataclass(frozen=True)
-class WeightLayout:
-    """Flat-buffer layout of a weight tree: (shape, dtype, offset) triples."""
-
-    shapes: Tuple[Tuple[int, ...], ...]
-    dtypes: Tuple[str, ...]
-    offsets: Tuple[int, ...]
-    total_bytes: int
-
-    @classmethod
-    def from_weights(cls, weights: Sequence[np.ndarray]) -> "WeightLayout":
-        shapes, dtypes, offsets = [], [], []
-        cursor = 0
-        for w in weights:
-            w = np.asarray(w)
-            # 8-byte alignment keeps every view's dtype happy.
-            cursor = (cursor + 7) // 8 * 8
-            shapes.append(tuple(w.shape))
-            dtypes.append(w.dtype.str)
-            offsets.append(cursor)
-            cursor += w.nbytes
-        return cls(tuple(shapes), tuple(dtypes), tuple(offsets), max(cursor, 1))
-
-    def views(self, buf, writeable: bool) -> List[np.ndarray]:
-        """NumPy views over ``buf`` (a shared-memory buffer), one per array."""
-        out = []
-        for shape, dtype, offset in zip(self.shapes, self.dtypes, self.offsets):
-            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=buf, offset=offset)
-            view.flags.writeable = writeable
-            out.append(view)
-        return out
 
 
 @dataclass
@@ -213,9 +186,18 @@ class ProcessExecutor:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         self._n_workers = n_workers
-        layout = WeightLayout.from_weights(initial_weights)
+        if isinstance(initial_weights, ParamPlane):
+            layout = initial_weights.layout
+        else:
+            layout = WeightLayout.from_weights(initial_weights)
+        self._layout = layout
         self._shm = shared_memory.SharedMemory(create=True, size=layout.total_bytes)
         self._views: Optional[List[np.ndarray]] = layout.views(self._shm.buf, writeable=True)
+        #: whole-segment byte view — one memcpy broadcasts the entire model
+        #: when the engine hands us its ParamPlane with the same layout.
+        self._bytes: Optional[np.ndarray] = np.ndarray(
+            (layout.total_bytes,), dtype=np.uint8, buffer=self._shm.buf
+        )
         self._payload_shm: Optional[shared_memory.SharedMemory] = None
         self._payload_ref: PayloadRef = None
         self.broadcast(initial_weights)
@@ -234,19 +216,28 @@ class ProcessExecutor:
         """Worker contexts live in other processes; there is nothing to lend."""
         return None
 
-    def broadcast(self, weights: Sequence[np.ndarray],
+    def broadcast(self, weights,
                   payload: Optional[Dict[str, Any]] = None) -> None:
-        """Copy the new global weights into the shared segment (one
-        ``np.copyto`` per parameter array per round) and publish the
-        server's broadcast payload, pickled **once** per round into its own
-        segment — never per client task."""
+        """Copy the new global weights into the shared segment and publish
+        the server's broadcast payload, pickled **once** per round into its
+        own segment — never per client task.
+
+        When the engine hands its :class:`~repro.fl.params.ParamPlane`
+        (same layout as the segment), the weight copy is a single
+        ``np.copyto`` over the raw bytes; a plain weight tree falls back to
+        one copy per parameter array.
+        """
         assert self._views is not None, "executor is closed"
-        if len(weights) != len(self._views):
-            raise ValueError(
-                f"weight tree has {len(weights)} arrays, layout expects {len(self._views)}"
-            )
-        for view, w in zip(self._views, weights):
-            np.copyto(view, w)
+        if isinstance(weights, ParamPlane) and weights.layout == self._layout:
+            np.copyto(self._bytes, weights.bytes_view())
+        else:
+            tree = weights.tree if isinstance(weights, ParamPlane) else weights
+            if len(tree) != len(self._views):
+                raise ValueError(
+                    f"weight tree has {len(tree)} arrays, layout expects {len(self._views)}"
+                )
+            for view, w in zip(self._views, tree):
+                np.copyto(view, w)
         # The previous round's payload segment is quiescent by now (run()
         # is synchronous), so it can be retired before publishing the next.
         self._drop_payload_segment()
@@ -278,6 +269,7 @@ class ProcessExecutor:
         self._drop_payload_segment()
         # Views hold exported buffers; release them before closing the segment.
         self._views = None
+        self._bytes = None
         self._shm.close()
         try:
             self._shm.unlink()

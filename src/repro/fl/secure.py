@@ -24,8 +24,9 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.fl.params import as_flat
 from repro.utils.rng import RngStream
-from repro.utils.vectorize import tree_copy
+from repro.utils.vectorize import tree_copy, unflatten_like
 
 __all__ = ["PairwiseMasker", "secure_sum"]
 
@@ -59,9 +60,24 @@ class PairwiseMasker:
         round_idx: int,
         update: Sequence[np.ndarray],
     ) -> List[np.ndarray]:
-        """Return the client's masked upload."""
+        """Return the client's masked upload.
+
+        Flat fast path: one mask draw + one fused axpy per pair on the whole
+        parameter vector (a generator yields the same normal stream whether
+        drawn per layer or in one flat call, so values match the historical
+        per-layer loop exactly); per-layer fallback for mixed-dtype trees.
+        """
         if client_id not in cohort:
             raise ValueError(f"client {client_id} not in cohort {list(cohort)}")
+        flat = as_flat(update)
+        if flat is not None:
+            for other in cohort:
+                if other == client_id:
+                    continue
+                rng = self._pair_rng(round_idx, client_id, other)
+                sign = 1.0 if client_id < other else -1.0
+                flat += (sign * self.scale) * rng.standard_normal(flat.size).astype(flat.dtype)
+            return unflatten_like(flat, update)
         masked = tree_copy(update)
         for other in cohort:
             if other == client_id:
@@ -82,7 +98,14 @@ class PairwiseMasker:
         """
         if not masked_uploads:
             raise ValueError("no uploads")
-        it = iter(masked_uploads.values())
+        uploads = list(masked_uploads.values())
+        flats = [as_flat(u) for u in uploads]
+        if all(f is not None for f in flats):
+            total = flats[0]
+            for f in flats[1:]:
+                total += f
+            return unflatten_like(total, uploads[0])
+        it = iter(uploads)
         total = tree_copy(next(it))
         for upload in it:
             for acc, arr in zip(total, upload):

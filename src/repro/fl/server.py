@@ -6,9 +6,9 @@ from typing import Any, Dict, List, Sequence
 
 import numpy as np
 
+from repro.fl.params import ParamPlane
 from repro.fl.types import ClientUpdate, FLConfig
 from repro.utils.logging import get_logger
-from repro.utils.vectorize import tree_copy
 
 __all__ = ["Server"]
 
@@ -18,13 +18,23 @@ _log = get_logger("fl.server")
 class Server:
     """Holds the global model weights and runs strategy server hooks.
 
-    The server never owns a live model object — only the weight tree — which
-    keeps aggregation independent of layer implementations and mirrors the
-    paper's "transmit the global model / aggregate uploaded models" protocol.
+    The server never owns a live model object — only the weight state —
+    which keeps aggregation independent of layer implementations and mirrors
+    the paper's "transmit the global model / aggregate uploaded models"
+    protocol.
+
+    Since the flat-parameter refactor the weight state is one contiguous
+    buffer (:class:`~repro.fl.params.ParamPlane`): :attr:`weights` exposes
+    stable per-layer views into it, and each aggregation writes the buffer
+    in place — broadcast consumers (executors, evaluation) alias the same
+    memory round after round instead of chasing freshly allocated trees.
+    Strategy hooks keep receiving/returning plain lists of arrays; anything
+    needing a snapshot across rounds copies explicitly (as they all did
+    already, since the old code also rebound ``weights`` every round).
     """
 
     def __init__(self, initial_weights: List[np.ndarray], strategy, config: FLConfig) -> None:
-        self.weights: List[np.ndarray] = tree_copy(initial_weights)
+        self.plane = ParamPlane.from_tree(initial_weights)
         self.strategy = strategy
         self.config = config
         self.state: Dict[str, Any] = strategy.server_init(self.weights, config)
@@ -32,8 +42,24 @@ class Server:
         self.skipped_rounds = 0
 
     @property
+    def weights(self) -> List[np.ndarray]:
+        """Per-layer views into the flat global buffer (stable identity)."""
+        return self.plane.tree
+
+    @weights.setter
+    def weights(self, tree: Sequence[np.ndarray]) -> None:
+        self.plane.copy_from_tree(tree)
+
+    @property
+    def flat_weights(self) -> np.ndarray:
+        """The global model as one flat vector (aliases :attr:`weights`)."""
+        if self.plane.flat is None:  # pragma: no cover - models are uniform f32
+            raise ValueError("global weights have mixed dtypes; no flat view")
+        return self.plane.flat
+
+    @property
     def n_params(self) -> int:
-        return int(sum(w.size for w in self.weights))
+        return self.plane.n_params
 
     def broadcast_payload(self) -> Dict[str, Any]:
         """Extra state shipped alongside the model (e.g. SCAFFOLD's c)."""
@@ -44,15 +70,20 @@ class Server:
 
     @staticmethod
     def _finite(update: ClientUpdate) -> bool:
+        flat = update.flat_vector()
+        if flat is not None:
+            return bool(np.isfinite(flat).all())
         return all(np.isfinite(w).all() for w in update.weights)
 
     def partition_finite(self, updates: Sequence[ClientUpdate]) -> List[ClientUpdate]:
         """The non-finite drop policy, shared by every aggregation path
         (synchronous rounds and the async engine's mixing): return the
-        healthy updates, logging any dropped client ids."""
-        healthy = [u for u in updates if self._finite(u)]
+        healthy updates, logging any dropped client ids.  Each update's
+        verdict is computed exactly once."""
+        verdicts = [self._finite(u) for u in updates]
+        healthy = [u for u, ok in zip(updates, verdicts) if ok]
         if len(healthy) < len(updates):
-            bad = sorted(u.client_id for u in updates if not self._finite(u))
+            bad = sorted(u.client_id for u, ok in zip(updates, verdicts) if not ok)
             _log.warning("round %d: dropping %d non-finite client update(s): %s",
                          self.round_idx, len(updates) - len(healthy), bad)
         return healthy
@@ -84,5 +115,9 @@ class Server:
         old = self.weights
         new = self.strategy.aggregate(healthy, old, self.state, self.config)
         new = self.strategy.post_aggregate(new, old, healthy, self.state, self.config)
-        self.weights = [np.asarray(w, dtype=old[i].dtype) for i, w in enumerate(new)]
+        # One in-place write of the flat buffer; the views every consumer
+        # holds update with it.  (``new`` never partially aliases the plane:
+        # strategies return either fresh arrays or the plane's own views,
+        # and copyto handles the latter as a no-op.)
+        self.plane.copy_from_tree(new)
         self.round_idx += 1

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,7 +56,16 @@ class FLConfig:
 
 @dataclass
 class ClientUpdate:
-    """What one client sends back to the server after local training."""
+    """What one client sends back to the server after local training.
+
+    ``weights`` (the per-layer tree) remains the compatibility surface every
+    strategy reads.  The server-side hot path additionally works on ``flat``
+    — one contiguous vector of the same values — which updates built via
+    :meth:`from_flat` carry natively (``weights`` are then reshaped *views*
+    into it, no copies) and any other update derives lazily through
+    :meth:`flat_vector`.  Updates with a flat vector also pickle it instead
+    of the per-layer arrays, halving the process-pool result payload.
+    """
 
     client_id: int
     weights: List[np.ndarray]
@@ -68,6 +77,74 @@ class ClientUpdate:
     # Local cost bookkeeping for Table V.
     flops: float = 0.0
     comm_bytes: float = 0.0
+    #: cached flat view of ``weights``; value-identical by construction and
+    #: treated as stale if ``weights`` is mutated in place (nothing in the
+    #: round loop does — updates are replaced, never edited).
+    flat: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @classmethod
+    def from_flat(
+        cls,
+        flat: np.ndarray,
+        shapes: Sequence[Tuple[int, ...]],
+        *,
+        client_id: int,
+        num_samples: int,
+        train_loss: float,
+        extras: Optional[Dict[str, Any]] = None,
+        flops: float = 0.0,
+        comm_bytes: float = 0.0,
+    ) -> "ClientUpdate":
+        """Build an update whose tree is a zero-copy view of ``flat``."""
+        return cls(
+            client_id=client_id,
+            weights=_tree_views(flat, shapes),
+            num_samples=num_samples,
+            train_loss=train_loss,
+            extras=extras if extras is not None else {},
+            flops=flops,
+            comm_bytes=comm_bytes,
+            flat=flat,
+        )
+
+    def flat_vector(self) -> Optional[np.ndarray]:
+        """The update as one flat vector (cached; ``None`` on mixed dtypes)."""
+        if self.flat is None:
+            arrays = [np.asarray(w) for w in self.weights]
+            if arrays and len({a.dtype for a in arrays}) == 1:
+                self.flat = (
+                    np.concatenate([a.ravel() for a in arrays])
+                    if len(arrays) > 1
+                    else arrays[0].reshape(-1).copy()
+                )
+        return self.flat
+
+    # -- pickling: ship the flat buffer once, not flat + L layer copies ----
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        if self.flat is not None:
+            state["weights"] = [tuple(np.shape(w)) for w in self.weights]
+            state["_flat_shapes"] = True
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        if state.pop("_flat_shapes", False):
+            state = dict(state)
+            state["weights"] = _tree_views(state["flat"], state["weights"])
+        self.__dict__.update(state)
+
+
+def _tree_views(flat: np.ndarray, shapes: Sequence[Tuple[int, ...]]) -> List[np.ndarray]:
+    """Reshaped per-layer views of one flat vector (no copies)."""
+    out: List[np.ndarray] = []
+    cursor = 0
+    for shape in shapes:
+        size = int(np.prod(shape, dtype=np.int64))
+        out.append(flat[cursor : cursor + size].reshape(shape))
+        cursor += size
+    if cursor != flat.size:
+        raise ValueError(f"shapes cover {cursor} elements, flat has {flat.size}")
+    return out
 
 
 @dataclass

@@ -57,6 +57,20 @@ class FedModel(Module):
         z = self.features(x)
         return self.head(z), z
 
+    # -- flat weight I/O -------------------------------------------------------
+    def set_weights_flat(self, flat: np.ndarray) -> None:
+        """Load one flat parameter vector (the canonical server-side
+        representation, see :mod:`repro.fl.params`) into the model —
+        inverse of :meth:`~repro.nn.module.Module.get_weights_flat`."""
+        params = self.parameters()
+        total = sum(p.size for p in params)
+        if flat.size != total:
+            raise ValueError(f"flat vector has {flat.size} elements, model has {total}")
+        cursor = 0
+        for p in params:
+            p.copy_(flat[cursor : cursor + p.size].reshape(p.data.shape))
+            cursor += p.size
+
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Argmax class prediction in eval mode (mode is restored)."""
         was_training = self.training

@@ -98,6 +98,17 @@ class Module:
         """Detached copies of every parameter array, in traversal order."""
         return [p.clone_data() for p in self.parameters()]
 
+    def get_weights_flat(self) -> Tuple[np.ndarray, List[Tuple[int, ...]]]:
+        """One detached flat copy of every parameter plus the per-layer
+        shapes — the upload format of the flat-parameter hot path (see
+        :mod:`repro.fl.params`).  Same bytes as :meth:`get_weights`, one
+        allocation instead of one per layer."""
+        params = self.parameters()
+        if not params:
+            return np.zeros(0, dtype=np.float32), []
+        flat = np.concatenate([p.data.ravel() for p in params])
+        return flat, [p.data.shape for p in params]
+
     def weight_refs(self) -> List[np.ndarray]:
         """Live references to the parameter arrays (no copies)."""
         return [p.data for p in self.parameters()]

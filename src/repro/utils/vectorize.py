@@ -19,6 +19,7 @@ import numpy as np
 
 __all__ = [
     "flatten_arrays",
+    "flatten_into",
     "unflatten_like",
     "zeros_like_flat",
     "tree_axpy",
@@ -36,6 +37,23 @@ def flatten_arrays(arrays: Sequence[np.ndarray]) -> np.ndarray:
     if not arrays:
         return np.zeros(0, dtype=np.float32)
     return np.concatenate([np.ravel(a) for a in arrays])
+
+
+def flatten_into(out: np.ndarray, arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Write ``arrays`` into a preallocated 1-D vector, casting to its dtype.
+
+    The zero-allocation sibling of :func:`flatten_arrays`: the aggregation
+    hot path uses it to fill rows of a round-persistent ``(K, P)`` matrix
+    without per-round concatenation temporaries.  Returns ``out``.
+    """
+    cursor = 0
+    for a in arrays:
+        a = np.asarray(a)
+        out[cursor : cursor + a.size] = a.ravel()
+        cursor += a.size
+    if cursor != out.size:
+        raise ValueError(f"arrays hold {cursor} elements, out holds {out.size}")
+    return out
 
 
 def unflatten_like(flat: np.ndarray, template: Sequence[np.ndarray]) -> List[np.ndarray]:
