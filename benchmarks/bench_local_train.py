@@ -1,0 +1,229 @@
+"""Client-side local-training throughput: plane-backed path vs tree path.
+
+The companion to ``bench_hot_path.py`` on the other side of the wire: where
+that bench isolates the *server's* per-round overhead, this one isolates the
+*client's* — the local-training inner loop that dominates simulation wall
+time.  The workload trains 64 clients for one FL round each (broadcast
+adoption, local SGD-with-momentum steps with FedTrip's triplet attach op,
+and the flat upload), with a tiny MLP so per-layer Python/interpreter
+overhead — not BLAS — dominates, exactly the regime the flat refactor
+targets.
+
+Two legs run the identical workload (same init, same data, same batches):
+
+* ``tree`` — the pre-PR client path: a non-materialized model, per-layer
+  optimizer loops, per-layer attach ops against the broadcast tree,
+  per-parameter broadcast adoption, ``np.concatenate`` upload.
+* ``plane`` — the shipped path: the worker model re-homed onto weight/grad
+  planes (:meth:`~repro.nn.module.Module.materialize_flat`), fused flat
+  optimizer and attach ops, one-``copyto`` adoption, one-memcpy upload.
+
+Reported: client rounds/sec per leg and the speedup; the acceptance bar is
+the plane path at >= 1.8x.  The two legs are elementwise-identical
+arithmetic, so the bench also asserts max-abs-diff exactly 0.0 between the
+uploaded models.  Output: ``benchmarks/out/local_train.json`` and (from a
+repo checkout) the root ``BENCH_localtrain.json`` baseline consumed by CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from harness import print_table, save_json  # noqa: E402
+
+from repro.algorithms.registry import build_strategy  # noqa: E402
+from repro.data.dataset import ArrayDataset  # noqa: E402
+from repro.fl.client import Client  # noqa: E402
+from repro.fl.executor import (  # noqa: E402
+    ClientTaskSpec,
+    TaskRuntime,
+    WorkerContext,
+    execute_task,
+    make_optimizer,
+)
+from repro.fl.params import ParamPlane  # noqa: E402
+from repro.fl.types import FLConfig  # noqa: E402
+from repro.nn.losses import CrossEntropyLoss  # noqa: E402
+from repro.utils.rng import RngStream  # noqa: E402
+
+N_CLIENTS = 64
+INPUT_DIM = 48
+HIDDEN = 48
+DEPTH = 4
+SAMPLES_PER_CLIENT = 40
+BATCH_SIZE = 10
+METHOD = "fedtrip"
+OPTIMIZER = "sgdm"
+WARMUP = 2
+TIMED_ROUNDS = 30
+QUICK_ROUNDS = 8
+
+
+def _bench_model(seed_name: str, root: RngStream):
+    """A deep narrow MLP (DEPTH hidden Linears): enough layers that the
+    pre-PR per-layer loops — not the tiny GEMMs — carry the cost, matching
+    the CNN/AlexNet-lite regime where layer count is what grows."""
+    from repro.models.fedmodel import FedModel
+    from repro.nn import Linear, ReLU, Sequential
+
+    rng = root.child(seed_name).generator
+    layers = [Linear(INPUT_DIM, HIDDEN, rng=rng), ReLU()]
+    for _ in range(DEPTH - 1):
+        layers += [Linear(HIDDEN, HIDDEN, rng=rng), ReLU()]
+    return FedModel(Sequential(*layers), Sequential(Linear(HIDDEN, 10, rng=rng)),
+                    input_shape=(INPUT_DIM,), name="bench-mlp")
+
+
+def _build_leg(flat: bool):
+    """One leg's full fixture: worker context, runtime, clients, states."""
+    root = RngStream(0)
+    model = _bench_model("model-init", root)
+    frozen = _bench_model("model-init", root)
+    frozen.eval()
+    config = FLConfig(rounds=1, n_clients=N_CLIENTS, clients_per_round=N_CLIENTS,
+                      batch_size=BATCH_SIZE, optimizer=OPTIMIZER, lr=0.05)
+    optimizer = make_optimizer(OPTIMIZER, model if flat else model.parameters(), config)
+    worker = WorkerContext(model, frozen, optimizer, CrossEntropyLoss())
+
+    data_rng = np.random.default_rng(1)
+    clients = [
+        Client(k, ArrayDataset(
+            data_rng.standard_normal((SAMPLES_PER_CLIENT, INPUT_DIM)).astype(np.float32),
+            data_rng.integers(0, 10, SAMPLES_PER_CLIENT)), seed=0)
+        for k in range(N_CLIENTS)
+    ]
+    strategy = build_strategy(METHOD)
+    glob = _bench_model("g", RngStream(7))
+    plane = ParamPlane.from_tree(glob.get_weights())
+    runtime = TaskRuntime(clients=clients, strategy=strategy, config=config,
+                          fp_flops=100.0, global_weights=plane.tree,
+                          global_flat=plane.flat if flat else None)
+    states = {k: strategy.init_client_state(k) for k in range(N_CLIENTS)}
+    return worker, runtime, states
+
+
+def _run_round(worker, runtime, states, round_idx: int) -> None:
+    for k in range(N_CLIENTS):
+        result = execute_task(
+            ClientTaskSpec(client_id=k, round_idx=round_idx, state=states[k]),
+            worker, runtime)
+        states[k] = result.state
+
+
+def _measure(flat: bool, rounds: int) -> float:
+    worker, runtime, states = _build_leg(flat)
+    for r in range(WARMUP):
+        _run_round(worker, runtime, states, r)
+    t0 = time.perf_counter()
+    for r in range(WARMUP, WARMUP + rounds):
+        _run_round(worker, runtime, states, r)
+    return rounds / (time.perf_counter() - t0)
+
+
+def _equivalence_check() -> float:
+    """Max |plane - tree| over every client's round-2 upload (two rounds so
+    FedTrip's historical-anchor path is exercised on both legs)."""
+    worst = 0.0
+    uploads = {}
+    for flat in (True, False):
+        worker, runtime, states = _build_leg(flat)
+        vectors = {}
+        for r in range(2):
+            for k in range(N_CLIENTS):
+                result = execute_task(
+                    ClientTaskSpec(client_id=k, round_idx=r, state=states[k]),
+                    worker, runtime)
+                states[k] = result.state
+                vectors[k] = result.update.flat_vector()
+        uploads[flat] = vectors
+    for k in range(N_CLIENTS):
+        worst = max(worst, float(np.max(np.abs(
+            uploads[True][k].astype(np.float64) -
+            uploads[False][k].astype(np.float64)))))
+    return worst
+
+
+def _run(rounds: int = TIMED_ROUNDS):
+    # Best of three interleaved blocks per leg, as in bench_hot_path: the
+    # best block is the least-perturbed estimate on a noisy shared host.
+    tree_rps, plane_rps = 0.0, 0.0
+    for _ in range(3):
+        tree_rps = max(tree_rps, _measure(False, rounds))
+        plane_rps = max(plane_rps, _measure(True, rounds))
+    speedup = plane_rps / tree_rps
+    max_abs_diff = _equivalence_check()
+
+    n_params = _bench_model("count", RngStream(0)).num_parameters()
+    payload = {
+        "workload": {
+            "n_clients": N_CLIENTS,
+            "model": (f"mlp ({DEPTH} hidden Linears of {HIDDEN}, "
+                      f"input {INPUT_DIM}, {n_params} params)"),
+            "method": METHOD,
+            "optimizer": OPTIMIZER,
+            "samples_per_client": SAMPLES_PER_CLIENT,
+            "batch_size": BATCH_SIZE,
+            "timed_rounds": rounds,
+            "warmup_rounds": WARMUP,
+            "round": "adopt broadcast + local steps (attach op, fused "
+                     "optimizer) + flat upload, per client",
+        },
+        "host": {"cpus": os.cpu_count()},
+        "client_rounds_per_sec": {
+            "tree_path": round(tree_rps * N_CLIENTS, 2),
+            "plane_path": round(plane_rps * N_CLIENTS, 2),
+        },
+        "rounds_per_sec": {
+            "tree_path": round(tree_rps, 2),
+            "plane_path": round(plane_rps, 2),
+        },
+        "speedup": round(speedup, 3),
+        "tree_vs_plane_max_abs_diff": max_abs_diff,
+    }
+    save_json("local_train", payload)
+
+    # The root-level baseline: the per-PR trajectory CI publishes.
+    root = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+    if os.path.isfile(os.path.join(root, "ROADMAP.md")):
+        with open(os.path.join(root, "BENCH_localtrain.json"), "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+
+    print_table(
+        f"Client local-training path ({N_CLIENTS} clients, {n_params} params, "
+        f"{METHOD}/{OPTIMIZER})",
+        ["path", "rounds/sec", "client rounds/sec", "speedup"],
+        [["tree", f"{tree_rps:.1f}", f"{tree_rps * N_CLIENTS:.0f}", "1.00x"],
+         ["plane", f"{plane_rps:.1f}", f"{plane_rps * N_CLIENTS:.0f}",
+          f"{speedup:.2f}x"]],
+    )
+
+    assert max_abs_diff == 0.0, (
+        f"plane vs tree training diverged: max abs diff {max_abs_diff} "
+        f"(elementwise ops must be byte-identical)")
+    assert speedup >= 1.8, (
+        f"plane-backed local training must be >=1.8x the tree path: got "
+        f"{speedup:.2f}x ({plane_rps:.1f} vs {tree_rps:.1f} rounds/sec)")
+    return payload
+
+
+def test_local_train(benchmark):
+    from conftest import run_once
+
+    run_once(benchmark, lambda: _run(rounds=QUICK_ROUNDS))
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help=f"time {QUICK_ROUNDS} rounds instead of {TIMED_ROUNDS}")
+    args = parser.parse_args()
+    _run(rounds=QUICK_ROUNDS if args.quick else TIMED_ROUNDS)

@@ -13,6 +13,12 @@ Usage::
     PYTHONPATH=src python scripts/profile_round.py --clients 64 --rounds 5 \
         --sort tottime --top 40
     PYTHONPATH=src python scripts/profile_round.py --executor process --workers 2
+    PYTHONPATH=src python scripts/profile_round.py --client
+
+``--client`` adds a breakdown of where *local-step* time goes — the
+client-side phases (forward, backward, attach ops, optimizer, clipping,
+broadcast adoption, upload) the plane-backed flat path accelerates — and
+restricts the raw listing to client-side code.
 
 See docs/performance.md for how to read the output.
 """
@@ -23,6 +29,54 @@ import argparse
 import cProfile
 import pstats
 import sys
+
+#: client-side phases reported by --client: label -> (file basename | None,
+#: function) matchers.  Each matcher targets the phase's *top-level* function
+#: in the local-training call tree (stats are strip_dirs()'d), so summing
+#: cumulative times never double-counts across phases.
+CLIENT_PHASES = [
+    ("forward + loss", [("fedmodel.py", "forward"),
+                        ("fedmodel.py", "forward_with_features"),
+                        ("losses.py", "forward")]),
+    ("backward", [("fedmodel.py", "backward")]),
+    ("zero_grad", [("module.py", "zero_grad")]),
+    ("attach ops (modify_gradients)", [(None, "modify_gradients")]),
+    ("gradient clipping", [("base.py", "maybe_clip")]),
+    ("optimizer step", [("sgd.py", "step"), ("adam.py", "step")]),
+    ("broadcast adoption", [("fedmodel.py", "set_weights_flat"),
+                            ("module.py", "set_weights")]),
+    ("upload snapshot", [("module.py", "get_weights_flat"),
+                         ("types.py", "from_flat")]),
+    ("strategy round hooks", [(None, "on_round_start"), (None, "on_round_end")]),
+]
+
+
+def _client_breakdown(stats: pstats.Stats, rounds: int) -> None:
+    """Print cumulative seconds per client-side phase (per profiled run)."""
+    totals = {label: 0.0 for label, _ in CLIENT_PHASES}
+    for (path, _line, func), (_cc, _nc, _tt, ct, _callers) in stats.stats.items():
+        if path in ("callbacks.py", "engine.py"):
+            continue  # engine-side hooks share names with strategy hooks
+        for label, matchers in CLIENT_PHASES:
+            if any((mod is None or path == mod) and func == fn
+                   for mod, fn in matchers):
+                totals[label] += ct
+                break
+    # execute_task is the denominator: it spans broadcast adoption (in
+    # build_round_context) plus run_client_round, so every phase above is
+    # inside it and shares can never sum past 100%.
+    total_key = next(
+        (k for k in stats.stats if k[2] == "execute_task"), None)
+    task_total = stats.stats[total_key][3] if total_key else None
+    print("\n--- client-side breakdown (cumulative seconds, "
+          f"{rounds} profiled rounds) ---")
+    width = max(len(label) for label, _ in CLIENT_PHASES)
+    for label, _ in CLIENT_PHASES:
+        share = (f"  {100.0 * totals[label] / task_total:5.1f}% of client tasks"
+                 if task_total else "")
+        print(f"  {label.ljust(width)}  {totals[label]:8.4f}s{share}")
+    if task_total is not None:
+        print(f"  {'client task total'.ljust(width)}  {task_total:8.4f}s")
 
 
 def main() -> int:
@@ -42,6 +96,9 @@ def main() -> int:
     parser.add_argument("--sort", default="cumulative",
                         choices=["cumulative", "tottime", "ncalls"])
     parser.add_argument("--top", type=int, default=30)
+    parser.add_argument("--client", action="store_true",
+                        help="summarize local-step time by client-side phase "
+                             "and restrict the listing to client-side code")
     args = parser.parse_args()
 
     from repro.api import ExperimentSpec
@@ -70,7 +127,17 @@ def main() -> int:
         engine.close()
 
     stats = pstats.Stats(profiler, stream=sys.stdout)
-    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    stats.strip_dirs().sort_stats(args.sort)
+    if args.client:
+        # Paths are strip_dirs()'d basenames here, so filter on the
+        # client-side file names themselves (strategies, optimizers, nn
+        # layers, the client/executor plumbing).
+        stats.print_stats(
+            r"client|executor|fed|scaffold|mime|moon|slowmo|losses|module"
+            r"|parameter|linear|conv|activations|sgd|adam|base|utils", args.top)
+        _client_breakdown(stats, args.rounds)
+    else:
+        stats.print_stats(args.top)
     return 0
 
 

@@ -63,10 +63,28 @@ class ClientRoundContext:
     #: last dispatch) under the async/semi-sync modes; None in sync mode,
     #: where strategies fall back to round arithmetic.
     xi_measured: Optional[float] = None
+    #: the broadcast global weights as one ``(P,)`` vector (aliasing
+    #: ``global_weights``); None when the executor shipped a plain tree.
+    global_flat: Optional[np.ndarray] = None
 
     @property
     def n_params(self) -> int:
         return self.model.num_parameters()
+
+    @property
+    def flat_weights(self) -> Optional[np.ndarray]:
+        """The model's live weight plane (None unless plane-backed)."""
+        return self.model.flat_weights
+
+    @property
+    def flat_grads(self) -> Optional[np.ndarray]:
+        """The model's live gradient plane (None unless plane-backed)."""
+        return self.model.flat_grads
+
+    def has_flat(self) -> bool:
+        """True when both the worker model and the broadcast are flat —
+        the precondition for every strategy's fused attach-op path."""
+        return self.model.flat_grads is not None and self.global_flat is not None
 
 
 class Strategy:
@@ -151,8 +169,16 @@ class Strategy:
 
     @staticmethod
     def maybe_clip(ctx: ClientRoundContext) -> None:
-        """Apply the config's optional global gradient clipping."""
-        if ctx.config.max_grad_norm is not None:
+        """Apply the config's optional global gradient clipping — one norm
+        over the grad plane on plane-backed models, per-layer otherwise."""
+        if ctx.config.max_grad_norm is None:
+            return
+        grads = ctx.model.flat_grads
+        if grads is not None:
+            from repro.nn.utils import clip_grad_norm_flat
+
+            clip_grad_norm_flat(grads, ctx.config.max_grad_norm)
+        else:
             from repro.nn.utils import clip_grad_norm
 
             clip_grad_norm(ctx.model.parameters(), ctx.config.max_grad_norm)

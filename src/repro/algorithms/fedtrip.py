@@ -29,8 +29,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
+import numpy as np
+
 from repro.algorithms.base import ClientRoundContext, Strategy
-from repro.utils.vectorize import tree_copy
+from repro.fl.params import as_flat
+from repro.utils.vectorize import tree_copy, unflatten_like
 
 __all__ = ["FedTrip"]
 
@@ -107,13 +110,35 @@ class FedTrip(Strategy):
 
     def on_round_start(self, ctx: ClientRoundContext) -> None:
         ctx.scratch["xi"] = self._xi(ctx)
+        # The historical anchor lives in whichever representation this run's
+        # workers use; states crossing between plane-backed and tree runs
+        # are converted once per round here, never once per batch.
+        hist = ctx.state.get("historical")
+        if ctx.has_flat():
+            if hist is not None and not isinstance(hist, np.ndarray):
+                hist = as_flat(hist)
+            ctx.scratch["hist_flat"] = hist
+        elif isinstance(hist, np.ndarray):
+            ctx.state["historical"] = [
+                chunk.copy() for chunk in unflatten_like(hist, ctx.global_weights)
+            ]
 
     def modify_gradients(self, ctx: ClientRoundContext) -> None:
         """Algorithm 1 line 7: h += mu((w - w_glob) + xi(w_hist - w))."""
-        mu = self.mu
+        mu = ctx.scratch.get("mu", self.mu)
         if mu == 0.0:
             return
         xi = ctx.scratch["xi"]
+        if ctx.has_flat():
+            grads, w, gw = ctx.flat_grads, ctx.flat_weights, ctx.global_flat
+            hist = ctx.scratch.get("hist_flat")
+            if xi > 0.0 and hist is not None:
+                grads += mu * ((w - gw) + xi * (hist - w))
+                ctx.extra_flops += 4.0 * ctx.n_params
+            else:
+                grads += mu * (w - gw)
+                ctx.extra_flops += 2.0 * ctx.n_params
+            return
         hist = ctx.state.get("historical")
         params = ctx.model.parameters()
         if xi > 0.0 and hist is not None:
@@ -128,8 +153,12 @@ class FedTrip(Strategy):
     def on_round_end(self, ctx: ClientRoundContext) -> None:
         # The freshly trained local model (paper) — or, under the ablation,
         # the received global model — becomes the historical anchor for this
-        # client's next participation.
-        if self.historical_source == "last-local":
+        # client's next participation.  Plane-backed workers snapshot the
+        # whole model with one flat copy.
+        if ctx.has_flat():
+            source = ctx.flat_weights if self.historical_source == "last-local" else ctx.global_flat
+            ctx.state["historical"] = source.copy()
+        elif self.historical_source == "last-local":
             ctx.state["historical"] = tree_copy(ctx.model.weight_refs())
         else:
             ctx.state["historical"] = tree_copy(ctx.global_weights)

@@ -85,24 +85,10 @@ class AdaptiveFedTrip(FedTrip):
     # ---------------- client ----------------
     def on_round_start(self, ctx: ClientRoundContext) -> None:
         super().on_round_start(ctx)
-        # Use the server-adapted mu for this round (fall back to static).
+        # Use the server-adapted mu for this round (fall back to static);
+        # FedTrip.modify_gradients reads it from scratch, so the adaptive
+        # variant inherits both the fused flat path and the tree fallback.
         ctx.scratch["mu"] = float(ctx.server_broadcast.get("mu", self.mu))
-
-    def modify_gradients(self, ctx: ClientRoundContext) -> None:
-        mu = ctx.scratch.get("mu", self.mu)
-        if mu == 0.0:
-            return
-        xi = ctx.scratch["xi"]
-        hist = ctx.state.get("historical")
-        params = ctx.model.parameters()
-        if xi > 0.0 and hist is not None:
-            for p, gw, hw in zip(params, ctx.global_weights, hist):
-                p.grad += mu * ((p.data - gw) + xi * (hw - p.data))
-            ctx.extra_flops += 4.0 * ctx.n_params
-        else:
-            for p, gw in zip(params, ctx.global_weights):
-                p.grad += mu * (p.data - gw)
-            ctx.extra_flops += 2.0 * ctx.n_params
 
     def describe(self) -> Dict[str, Any]:
         base = super().describe()

@@ -178,7 +178,10 @@ class Engine:
             model = model_fn()
             frozen = model_fn()
             frozen.eval()
-            optimizer = make_optimizer(opt_name, model.parameters(), config)
+            # Handing the model (not its parameter list) re-homes it onto
+            # weight/grad planes and gives the optimizer the fused flat
+            # update path; see repro.fl.params.materialize_parameters.
+            optimizer = make_optimizer(opt_name, model, config)
             return WorkerContext(model, frozen, optimizer, CrossEntropyLoss())
 
         self.make_worker = make_worker
@@ -259,6 +262,7 @@ class Engine:
     def _build_ctx(self, worker: WorkerContext, client: Client, round_idx: int,
                    broadcast: Dict) -> ClientRoundContext:
         self.runtime.global_weights = self.server.weights
+        self.runtime.global_flat = self.server.plane.flat
         return build_round_context(
             worker, self.runtime, client.id, round_idx, broadcast, client.state
         )
@@ -426,18 +430,25 @@ class Engine:
     # ------------------------------------------------------------------
     # inspection / lifecycle
     # ------------------------------------------------------------------
+    def _load_global(self, model: FedModel) -> FedModel:
+        """Copy the server's weights into ``model`` (flat when possible)."""
+        flat = self.server.plane.flat
+        if flat is not None:
+            model.set_weights_flat(flat)
+        else:  # pragma: no cover - models in this codebase are uniform f32
+            model.set_weights(self.server.weights)
+        return model
+
     def evaluate_global(self) -> Tuple[float, float]:
         """Accuracy/loss of the current global weights on the test split."""
         worker = self.executor.borrow_worker()
         model = worker.model if worker is not None else self._model_fn()
-        model.set_weights(self.server.weights)
+        self._load_global(model)
         return evaluate_model(model, self.data.test, self.config.eval_batch_size)
 
     def global_model(self) -> FedModel:
         """A fresh model instance loaded with the current global weights."""
-        model = self._model_fn()
-        model.set_weights(self.server.weights)
-        return model
+        return self._load_global(self._model_fn())
 
     def close(self) -> None:
         self.executor.close()

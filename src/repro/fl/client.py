@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List
+from typing import Any, Dict
 
 import numpy as np
 
@@ -71,11 +71,15 @@ def run_client_round(
     ctx.optimizer.reset_state()
     strategy.on_round_start(ctx)
 
-    losses: List[float] = []
+    # Running (count, sum) instead of a per-step list: long local epochs
+    # must not accumulate unbounded Python floats just to take a mean.
+    loss_sum = 0.0
+    n_steps = 0
     for _ in range(config.local_epochs):
         loader = client.loader(config.batch_size, ctx.round_idx)
         for xb, yb in loader:
-            losses.append(strategy.local_step(ctx, xb, yb))
+            loss_sum += strategy.local_step(ctx, xb, yb)
+            n_steps += 1
     strategy.on_round_end(ctx)
 
     n_params = ctx.n_params
@@ -92,17 +96,18 @@ def run_client_round(
     bytes_per_w = 4.0  # float32
     comm = (2.0 + strategy.extra_comm_units()) * n_params * bytes_per_w
 
-    # Snapshot the trained model as one flat vector: the update's tree
-    # becomes zero-copy views of it, and the server-side hot path
-    # (finite check, GEMM aggregation, privacy/compression wrappers)
-    # consumes the vector directly.
+    # Snapshot the trained model as one flat vector: on plane-backed
+    # workers this is a single memcpy of the weight plane (no concatenate,
+    # no per-layer ravel), the update's tree becomes zero-copy views of it,
+    # and the server-side hot path (finite check, GEMM aggregation,
+    # privacy/compression wrappers) consumes the vector directly.
     flat, shapes = model.get_weights_flat()
     return ClientUpdate.from_flat(
         flat,
         shapes,
         client_id=client.id,
         num_samples=client.num_samples,
-        train_loss=float(np.mean(losses)) if losses else float("nan"),
+        train_loss=loss_sum / n_steps if n_steps else float("nan"),
         extras=dict(ctx.upload_extras),
         flops=total_flops,
         comm_bytes=comm,

@@ -36,6 +36,7 @@ from repro.fl.params import ParamPlane
 from repro.fl.types import ClientUpdate, FLConfig
 from repro.models.fedmodel import FedModel
 from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
 from repro.optim import SGD, Adam
 from repro.optim.base import Optimizer
 
@@ -47,6 +48,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadedExecutor",
     "broadcast_tree",
+    "broadcast_flat",
     "build_round_context",
     "execute_task",
     "make_optimizer",
@@ -62,15 +64,35 @@ def broadcast_tree(weights) -> List[np.ndarray]:
     return weights
 
 
+def broadcast_flat(weights) -> Optional[np.ndarray]:
+    """The broadcast argument's ``(P,)`` vector when it has one (a packed
+    :class:`~repro.fl.params.ParamPlane`), else None — plain weight trees
+    keep workers on the per-layer adoption fallback."""
+    if isinstance(weights, ParamPlane):
+        return weights.flat
+    return None
+
+
 def make_optimizer(name: str, params, config: FLConfig):
-    """Build the local optimizer the paper pairs with each method."""
+    """Build the local optimizer the paper pairs with each method.
+
+    ``params`` is either a parameter sequence (per-layer optimizer) or a
+    whole model: models are materialized onto weight/grad planes first and
+    the optimizer gets their flat state, enabling the fused ``(P,)`` update
+    path every worker context uses.
+    """
+    flat_state = None
+    if isinstance(params, Module):
+        model = params.materialize_flat()
+        flat_state = model.flat_state()
+        params = model.parameters()
     key = name.lower()
     if key == "sgdm":
-        return SGD(params, lr=config.lr, momentum=config.momentum)
+        return SGD(params, lr=config.lr, momentum=config.momentum, flat_state=flat_state)
     if key == "sgd":
-        return SGD(params, lr=config.lr, momentum=0.0)
+        return SGD(params, lr=config.lr, momentum=0.0, flat_state=flat_state)
     if key == "adam":
-        return Adam(params, lr=config.lr)
+        return Adam(params, lr=config.lr, flat_state=flat_state)
     raise ValueError(f"unknown optimizer {name!r}")
 
 
@@ -138,6 +160,10 @@ class TaskRuntime:
     fp_flops: float
     global_weights: List[np.ndarray]
     server_broadcast: Dict[str, Any] = field(default_factory=dict)
+    #: the same global weights as one ``(P,)`` vector (aliasing
+    #: ``global_weights``); None when the broadcast was a plain tree, in
+    #: which case workers take the per-layer adoption fallback.
+    global_flat: Optional[np.ndarray] = None
 
 
 def build_round_context(
@@ -150,9 +176,17 @@ def build_round_context(
     xi_measured: Optional[float] = None,
 ) -> ClientRoundContext:
     """Load the global weights into the worker model and assemble the
-    per-client round context every strategy hook receives."""
+    per-client round context every strategy hook receives.
+
+    Broadcast adoption on a plane-backed worker is one ``np.copyto`` of the
+    flat vector into the model's weight plane; non-plane models (or tree
+    broadcasts) copy per layer as before."""
     client = runtime.clients[client_id]
-    worker.model.set_weights(runtime.global_weights)
+    flat = runtime.global_flat
+    if flat is not None and worker.model.flat_weights is not None:
+        worker.model.set_weights_flat(flat)
+    else:
+        worker.model.set_weights(runtime.global_weights)
     return ClientRoundContext(
         client_id=client.id,
         round_idx=round_idx,
@@ -168,6 +202,7 @@ def build_round_context(
         fp_flops_per_sample=runtime.fp_flops,
         server_broadcast=dict(broadcast),
         xi_measured=xi_measured,
+        global_flat=flat,
     )
 
 
@@ -215,6 +250,7 @@ class SerialExecutor:
         broadcast payload (no copies)."""
         runtime = self._require_runtime()
         runtime.global_weights = broadcast_tree(weights)
+        runtime.global_flat = broadcast_flat(weights)
         runtime.server_broadcast = payload if payload is not None else {}
 
     def _require_runtime(self) -> TaskRuntime:
@@ -267,6 +303,7 @@ class ThreadedExecutor:
         if self.runtime is None:
             raise RuntimeError("executor was constructed without a TaskRuntime")
         self.runtime.global_weights = broadcast_tree(weights)
+        self.runtime.global_flat = broadcast_flat(weights)
         self.runtime.server_broadcast = payload if payload is not None else {}
 
     def _run_one(self, task: ClientTaskSpec) -> TaskResult:

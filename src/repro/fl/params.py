@@ -42,8 +42,10 @@ from repro.utils.vectorize import flatten_arrays, flatten_into
 __all__ = [
     "WeightLayout",
     "ParamPlane",
+    "GradPlane",
     "MatrixPool",
     "as_flat",
+    "materialize_parameters",
     "stack_updates",
 ]
 
@@ -214,6 +216,51 @@ class ParamPlane:
         if self.flat is None:
             raise ValueError("layout is not packed")
         return self.flat.copy()
+
+
+class GradPlane(ParamPlane):
+    """A zero-initialized plane matching a weight layout.
+
+    The gradient-side twin of :class:`ParamPlane`: worker models re-homed by
+    :func:`materialize_parameters` accumulate every layer's gradient into one
+    of these, so ``zero_grad``, gradient clipping, the fused optimizers and
+    the strategies' attach ops all become single vector operations over the
+    ``(P,)`` :attr:`flat` view instead of per-layer Python loops.
+    """
+
+    def zero_(self) -> None:
+        """Reset every gradient in the plane with one vectorized write."""
+        if self.flat is not None:
+            self.flat[...] = 0.0
+        else:  # pragma: no cover - mixed-dtype models are never plane-backed
+            for view in self.tree:
+                view[...] = 0.0
+
+
+def materialize_parameters(params) -> Optional[Tuple[ParamPlane, "GradPlane"]]:
+    """Re-home a list of :class:`~repro.nn.parameter.Parameter` objects onto
+    one weight plane and one gradient plane.
+
+    Each parameter's ``data``/``grad`` becomes a zero-copy view into the
+    corresponding plane, preserving the current bytes, shapes, dtypes and
+    traversal order exactly.  Returns ``None`` (and leaves the parameters
+    untouched) when the tree is empty or mixed-dtype — callers then stay on
+    the per-layer fallback paths.  This is the plane-backed-module
+    constructor behind :meth:`repro.nn.module.Module.materialize_flat`.
+    """
+    params = list(params)
+    if not params:
+        return None
+    layout = WeightLayout.from_weights([p.data for p in params])
+    if not layout.is_packed:
+        return None
+    weight_plane = ParamPlane(layout)
+    grad_plane = GradPlane(layout)
+    for p, wview, gview in zip(params, weight_plane.tree, grad_plane.tree):
+        np.copyto(wview, p.data)
+        np.copyto(gview, p.grad)
+        p.rebind(wview, gview)
+    return weight_plane, grad_plane
 
 
 class MatrixPool:

@@ -114,6 +114,12 @@ def _init_worker(spec: ProcessWorkerSpec) -> None:
     # no-op re-registration; only the creating process ever unlinks.
     _SHM = shared_memory.SharedMemory(name=spec.shm_name)
     views = spec.layout.views(_SHM.buf, writeable=False)
+    # Packed layouts also expose the segment as one (P,) vector, so worker
+    # models adopt each round's broadcast with a single flat copy.
+    flat_view = (
+        spec.layout.flat_view(_SHM.buf, writeable=False)
+        if spec.layout.is_packed else None
+    )
 
     data_spec = spec.data.spec
     root = RngStream(spec.config.seed)
@@ -131,8 +137,10 @@ def _init_worker(spec: ProcessWorkerSpec) -> None:
     model = model_fn()
     frozen = model_fn()
     frozen.eval()
+    # Handing the model (not its parameter list) re-homes it onto weight/
+    # grad planes and gives the optimizer the fused flat update path.
     _WORKER = WorkerContext(
-        model, frozen, make_optimizer(spec.opt_name, model.parameters(), spec.config),
+        model, frozen, make_optimizer(spec.opt_name, model, spec.config),
         CrossEntropyLoss(),
     )
     clients = [
@@ -145,6 +153,7 @@ def _init_worker(spec: ProcessWorkerSpec) -> None:
         config=spec.config,
         fp_flops=spec.fp_flops,
         global_weights=views,
+        global_flat=flat_view,
     )
 
 

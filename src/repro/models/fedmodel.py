@@ -61,7 +61,21 @@ class FedModel(Module):
     def set_weights_flat(self, flat: np.ndarray) -> None:
         """Load one flat parameter vector (the canonical server-side
         representation, see :mod:`repro.fl.params`) into the model —
-        inverse of :meth:`~repro.nn.module.Module.get_weights_flat`."""
+        inverse of :meth:`~repro.nn.module.Module.get_weights_flat`.
+
+        On a plane-backed model (:meth:`~repro.nn.module.Module.
+        materialize_flat`) this is a single ``np.copyto`` into the weight
+        plane — the broadcast-adoption fast path; otherwise it falls back
+        to one reshape+copy per parameter."""
+        flat_w = self.flat_weights
+        if flat_w is not None:
+            if flat.size != flat_w.size:
+                raise ValueError(
+                    f"flat vector has {flat.size} elements, model has {flat_w.size}"
+                )
+            # "unsafe" mirrors the fallback's astype(float32) semantics.
+            np.copyto(flat_w, flat, casting="unsafe")
+            return
         params = self.parameters()
         total = sum(p.size for p in params)
         if flat.size != total:

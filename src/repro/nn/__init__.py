@@ -24,7 +24,7 @@ from repro.nn.losses import (
 )
 from repro.nn import functional
 from repro.nn import init
-from repro.nn.utils import clip_grad_norm, global_grad_norm
+from repro.nn.utils import clip_grad_norm, clip_grad_norm_flat, global_grad_norm
 
 __all__ = [
     "Parameter",
@@ -51,5 +51,6 @@ __all__ = [
     "functional",
     "init",
     "clip_grad_norm",
+    "clip_grad_norm_flat",
     "global_grad_norm",
 ]

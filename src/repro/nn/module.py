@@ -19,7 +19,7 @@ tape would be.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -70,13 +70,72 @@ class Module:
                     yield (f"{prefix}.{name}" if prefix else name), value
 
     def parameters(self) -> List[Parameter]:
+        cached = getattr(self, "_flat_param_list", None)
+        if cached is not None:
+            return list(cached)
         return [p for _, p in self.named_parameters()]
 
     def num_parameters(self) -> int:
+        flat_w = self.flat_weights
+        if flat_w is not None:
+            return int(flat_w.size)
         return sum(p.size for p in self.parameters())
+
+    # -- flat (plane-backed) storage -------------------------------------------
+    def materialize_flat(self) -> "Module":
+        """Re-home every parameter in the subtree onto one contiguous weight
+        plane and one matching gradient plane (see
+        :func:`repro.fl.params.materialize_parameters`).
+
+        After this call ``Parameter.data``/``Parameter.grad`` are zero-copy
+        views into two ``(P,)`` buffers exposed as :attr:`flat_weights` /
+        :attr:`flat_grads`, and the hot per-batch operations (``zero_grad``,
+        optimizer steps, gradient clipping, the strategies' attach ops)
+        collapse to single vector expressions.  Traversal order, shapes and
+        the current bytes are preserved exactly; parameter traversal is
+        cached from here on, so the module tree must not grow new parameters
+        afterwards.  Idempotent; a no-op on empty or mixed-dtype trees.
+        """
+        if getattr(self, "_flat_planes", None) is None:
+            # Lazy import: nn is a lower layer than fl, and only plane-backed
+            # training needs the dependency.
+            from repro.fl.params import materialize_parameters
+
+            params = self.parameters()
+            planes = materialize_parameters(params)
+            if planes is None:
+                return self
+            self._flat_planes = planes
+            self._flat_param_list = tuple(params)
+            self._flat_shapes = tuple(p.data.shape for p in params)
+        return self
+
+    @property
+    def flat_weights(self) -> Optional[np.ndarray]:
+        """Live ``(P,)`` view of every weight (None until materialized)."""
+        planes = getattr(self, "_flat_planes", None)
+        return planes[0].flat if planes is not None else None
+
+    @property
+    def flat_grads(self) -> Optional[np.ndarray]:
+        """Live ``(P,)`` view of every gradient (None until materialized)."""
+        planes = getattr(self, "_flat_planes", None)
+        return planes[1].flat if planes is not None else None
+
+    def flat_state(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """The ``(flat_weights, flat_grads)`` pair, or None when not
+        plane-backed — the handshake fused optimizers key their fast path on."""
+        planes = getattr(self, "_flat_planes", None)
+        if planes is None:
+            return None
+        return planes[0].flat, planes[1].flat
 
     # -- gradients ------------------------------------------------------------
     def zero_grad(self) -> None:
+        grads = self.flat_grads
+        if grads is not None:
+            grads[...] = 0.0
+            return
         for p in self.parameters():
             p.zero_grad()
 
@@ -101,8 +160,12 @@ class Module:
     def get_weights_flat(self) -> Tuple[np.ndarray, List[Tuple[int, ...]]]:
         """One detached flat copy of every parameter plus the per-layer
         shapes — the upload format of the flat-parameter hot path (see
-        :mod:`repro.fl.params`).  Same bytes as :meth:`get_weights`, one
-        allocation instead of one per layer."""
+        :mod:`repro.fl.params`).  Same bytes as :meth:`get_weights`; on a
+        plane-backed model this is a single memcpy of the weight plane (no
+        concatenate, no per-layer ravel), otherwise one allocation total."""
+        flat_w = self.flat_weights
+        if flat_w is not None:
+            return flat_w.copy(), list(self._flat_shapes)
         params = self.parameters()
         if not params:
             return np.zeros(0, dtype=np.float32), []

@@ -51,6 +51,28 @@ class Parameter:
         """Reset the gradient buffer in place (no reallocation)."""
         self.grad[...] = 0.0
 
+    def rebind(self, data: np.ndarray, grad: np.ndarray) -> None:
+        """Re-home this parameter onto external storage (plane views).
+
+        Used by :func:`repro.fl.params.materialize_parameters` to back a
+        whole model with two contiguous buffers; the caller is responsible
+        for having copied the current values into ``data``/``grad`` first.
+        Shapes and dtypes must match exactly so every downstream consumer
+        (layers, optimizers, strategies) is oblivious to the move.
+        """
+        if data.shape != self.data.shape or data.dtype != self.data.dtype:
+            raise ValueError(
+                f"parameter {self.name!r}: rebind data mismatch "
+                f"{data.shape}/{data.dtype} vs {self.data.shape}/{self.data.dtype}"
+            )
+        if grad.shape != self.grad.shape or grad.dtype != self.grad.dtype:
+            raise ValueError(
+                f"parameter {self.name!r}: rebind grad mismatch "
+                f"{grad.shape}/{grad.dtype} vs {self.grad.shape}/{self.grad.dtype}"
+            )
+        self.data = data
+        self.grad = grad
+
     def copy_(self, values: np.ndarray) -> None:
         """Copy ``values`` into :attr:`data` without changing identity."""
         if values.shape != self.data.shape:

@@ -9,7 +9,7 @@ import numpy as np
 
 from repro.nn.parameter import Parameter
 
-__all__ = ["clip_grad_norm", "global_grad_norm"]
+__all__ = ["clip_grad_norm", "clip_grad_norm_flat", "global_grad_norm"]
 
 
 def global_grad_norm(params: Sequence[Parameter]) -> float:
@@ -34,4 +34,21 @@ def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:
         scale = max_norm / (norm + 1e-12)
         for p in params:
             p.grad *= scale
+    return norm
+
+
+def clip_grad_norm_flat(grads: np.ndarray, max_norm: float) -> float:
+    """:func:`clip_grad_norm` over a plane-backed model's ``(P,)`` gradient
+    vector: one dot product for the norm, one in-place scale to clip.
+
+    The single flat reduction replaces the per-layer sum-of-dots, so the
+    clipped floats differ from the tree path in the last bits — the one
+    place the client-side flat path changes reduction order (re-pinned once,
+    uniformly across every executor and mode).
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    norm = math.sqrt(float(np.dot(grads, grads)))
+    if norm > max_norm:
+        grads *= max_norm / (norm + 1e-12)
     return norm

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -13,7 +13,15 @@ __all__ = ["Adam"]
 
 
 class Adam(Optimizer):
-    """Adam with bias correction (Kingma & Ba, 2015)."""
+    """Adam with bias correction (Kingma & Ba, 2015).
+
+    On a plane-backed model (``flat_state``) the moment estimates are two
+    flat ``(P,)`` vectors and the whole update is one fused expression per
+    moment — no per-layer loop.  Both paths fold weight decay into the
+    gradient buffer in place (no fresh ``g + wd * w`` array per layer per
+    step), which is safe because gradients are re-zeroed before the next
+    backward pass.
+    """
 
     def __init__(
         self,
@@ -22,8 +30,9 @@ class Adam(Optimizer):
         betas: tuple = (0.9, 0.999),
         eps: float = 1e-8,
         weight_decay: float = 0.0,
+        flat_state: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> None:
-        super().__init__(params, lr)
+        super().__init__(params, lr, flat_state=flat_state)
         b1, b2 = betas
         if not (0 <= b1 < 1 and 0 <= b2 < 1):
             raise ValueError("betas must be in [0, 1)")
@@ -32,23 +41,44 @@ class Adam(Optimizer):
         self.weight_decay = float(weight_decay)
         self._m: Optional[List[np.ndarray]] = None
         self._v: Optional[List[np.ndarray]] = None
+        self._m_flat: Optional[np.ndarray] = None
+        self._v_flat: Optional[np.ndarray] = None
         self._t = 0
 
     def reset_state(self) -> None:
         self._m = self._v = None
+        if self._m_flat is not None:
+            self._m_flat[...] = 0.0
+            self._v_flat[...] = 0.0
         self._t = 0
 
+    def _step_flat(self, w: np.ndarray, g: np.ndarray, bc1: float, bc2: float) -> None:
+        if self._m_flat is None:
+            self._m_flat = np.zeros_like(w)
+            self._v_flat = np.zeros_like(w)
+        m, v = self._m_flat, self._v_flat
+        if self.weight_decay:
+            g += self.weight_decay * w
+        m *= self.b1
+        m += (1 - self.b1) * g
+        v *= self.b2
+        v += (1 - self.b2) * (g * g)
+        w -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
     def step(self) -> None:
-        if self._m is None:
-            self._m = [np.zeros_like(p.data) for p in self.params]
-            self._v = [np.zeros_like(p.data) for p in self.params]
         self._t += 1
         bc1 = 1.0 - self.b1**self._t
         bc2 = 1.0 - self.b2**self._t
+        if self._flat is not None:
+            self._step_flat(*self._flat, bc1, bc2)
+            return
+        if self._m is None:
+            self._m = [np.zeros_like(p.data) for p in self.params]
+            self._v = [np.zeros_like(p.data) for p in self.params]
         for p, m, v in zip(self.params, self._m, self._v):
             g = p.grad
             if self.weight_decay:
-                g = g + self.weight_decay * p.data
+                g += self.weight_decay * p.data
             m *= self.b1
             m += (1 - self.b1) * g
             v *= self.b2

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.nn.parameter import Parameter
 
@@ -15,20 +17,45 @@ class Optimizer:
     State (momentum buffers etc.) is positional, so an optimizer stays valid
     as long as parameter *shapes* are unchanged — which FL guarantees, since
     every round replaces weights in place via ``Module.set_weights``.
+
+    ``flat_state`` optionally hands the optimizer the ``(weights, grads)``
+    ``(P,)`` vector pair of a plane-backed model (see
+    :meth:`repro.nn.module.Module.flat_state`).  Subclasses then fuse the
+    whole update into a handful of vector expressions over those buffers —
+    the parameter ``data``/``grad`` arrays are views into them, so the two
+    representations can never diverge.  Without it, the per-layer fallback
+    paths run.
     """
 
-    def __init__(self, params: Sequence[Parameter], lr: float) -> None:
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float,
+        flat_state: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> None:
         if lr <= 0:
             raise ValueError("learning rate must be positive")
         self.params: List[Parameter] = list(params)
         if not self.params:
             raise ValueError("optimizer received no parameters")
         self.lr = float(lr)
+        if flat_state is not None:
+            weights, grads = flat_state
+            total = sum(p.size for p in self.params)
+            if weights.size != total or grads.size != total:
+                raise ValueError(
+                    f"flat state holds {weights.size}/{grads.size} elements, "
+                    f"parameters hold {total}"
+                )
+        self._flat = flat_state
 
     def step(self) -> None:
         raise NotImplementedError
 
     def zero_grad(self) -> None:
+        if self._flat is not None:
+            self._flat[1][...] = 0.0
+            return
         for p in self.params:
             p.zero_grad()
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -16,8 +16,14 @@ class SGD(Optimizer):
     """``v = m v + g; w -= lr v`` (PyTorch-style momentum).
 
     With ``momentum=0`` this is plain SGD.  ``weight_decay`` adds ``wd * w``
-    to the gradient (decoupled L2, applied before momentum), and
-    ``nesterov=True`` uses the lookahead form.
+    to the gradient (decoupled L2, applied before momentum, folded into the
+    gradient buffer in place), and ``nesterov=True`` uses the lookahead form.
+
+    On a plane-backed model (``flat_state``) the whole update is a handful
+    of fused vector expressions over the ``(P,)`` weight/grad planes — no
+    per-layer loop; momentum keeps one flat velocity vector that is zeroed
+    (not reallocated) on :meth:`reset_state`.  The arithmetic is elementwise
+    and therefore byte-identical to the per-layer path.
     """
 
     def __init__(
@@ -27,8 +33,9 @@ class SGD(Optimizer):
         momentum: float = 0.0,
         weight_decay: float = 0.0,
         nesterov: bool = False,
+        flat_state: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> None:
-        super().__init__(params, lr)
+        super().__init__(params, lr, flat_state=flat_state)
         if momentum < 0 or weight_decay < 0:
             raise ValueError("momentum and weight_decay must be non-negative")
         if nesterov and momentum == 0:
@@ -37,16 +44,38 @@ class SGD(Optimizer):
         self.weight_decay = float(weight_decay)
         self.nesterov = nesterov
         self._velocity: Optional[List[np.ndarray]] = None
+        self._velocity_flat: Optional[np.ndarray] = None
 
     def reset_state(self) -> None:
         self._velocity = None
+        if self._velocity_flat is not None:
+            self._velocity_flat[...] = 0.0
+
+    def _step_flat(self, w: np.ndarray, g: np.ndarray) -> None:
+        if self.weight_decay:
+            g += self.weight_decay * w
+        if self.momentum == 0.0:
+            w -= self.lr * g
+            return
+        if self._velocity_flat is None:
+            self._velocity_flat = np.zeros_like(w)
+        v = self._velocity_flat
+        v *= self.momentum
+        v += g
+        if self.nesterov:
+            w -= self.lr * (g + self.momentum * v)
+        else:
+            w -= self.lr * v
 
     def step(self) -> None:
+        if self._flat is not None:
+            self._step_flat(*self._flat)
+            return
         if self.momentum == 0.0:
             for p in self.params:
                 g = p.grad
                 if self.weight_decay:
-                    g = g + self.weight_decay * p.data
+                    g += self.weight_decay * p.data
                 p.data -= self.lr * g
             return
         if self._velocity is None:
@@ -54,7 +83,7 @@ class SGD(Optimizer):
         for p, v in zip(self.params, self._velocity):
             g = p.grad
             if self.weight_decay:
-                g = g + self.weight_decay * p.data
+                g += self.weight_decay * p.data
             v *= self.momentum
             v += g
             if self.nesterov:

@@ -1,0 +1,434 @@
+"""Plane-backed client training: materialization invariants, numerical
+gradients through plane-backed models, per-optimizer and per-strategy
+tree-vs-flat byte equivalence, flat clipping, and the determinism grid on
+the clipped (re-pinned) reduction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import build_strategy
+from repro.api import ExperimentSpec, run_experiment
+from repro.data.dataset import ArrayDataset
+from repro.fl.client import Client
+from repro.fl.executor import (
+    ClientTaskSpec,
+    TaskRuntime,
+    WorkerContext,
+    execute_task,
+    make_optimizer,
+)
+from repro.fl.params import GradPlane, ParamPlane, materialize_parameters
+from repro.fl.types import FLConfig
+from repro.models import build_model
+from repro.nn import Parameter, clip_grad_norm, clip_grad_norm_flat
+from repro.nn.losses import CrossEntropyLoss
+from repro.optim import SGD, Adam
+from repro.utils.rng import RngStream
+
+from tests.conftest import check_layer_gradients
+
+
+def _mlp(seed=0, input_dim=32):
+    return build_model("mlp", (input_dim,), 10, rng=RngStream(seed).child("m").generator)
+
+
+# ---------------------------------------------------------------------------
+# materialization invariants
+# ---------------------------------------------------------------------------
+
+class TestMaterializeFlat:
+    def test_bytes_order_and_shapes_preserved(self):
+        model = _mlp(3)
+        before = model.get_weights()
+        names = [n for n, _ in model.named_parameters()]
+        model.materialize_flat()
+        assert [n for n, _ in model.named_parameters()] == names
+        for w, p in zip(before, model.parameters()):
+            np.testing.assert_array_equal(w, p.data)
+            assert p.data.dtype == np.float32
+
+    def test_params_are_views_into_the_planes(self):
+        model = _mlp(4).materialize_flat()
+        w_flat, g_flat = model.flat_state()
+        assert w_flat.size == g_flat.size == model.num_parameters()
+        for p in model.parameters():
+            assert np.shares_memory(p.data, w_flat)
+            assert np.shares_memory(p.grad, g_flat)
+        # a write through the flat vector is visible through the parameters
+        w_flat[:] = 2.5
+        assert all((p.data == 2.5).all() for p in model.parameters())
+
+    def test_idempotent(self):
+        model = _mlp(5).materialize_flat()
+        w_flat = model.flat_weights
+        model.materialize_flat()
+        assert model.flat_weights is w_flat
+
+    def test_zero_grad_is_one_write(self):
+        model = _mlp(6).materialize_flat()
+        model.flat_grads[...] = 3.0
+        model.zero_grad()
+        assert (model.flat_grads == 0.0).all()
+        assert all((p.grad == 0.0).all() for p in model.parameters())
+
+    def test_get_weights_flat_is_detached_single_copy(self):
+        model = _mlp(7).materialize_flat()
+        flat, shapes = model.get_weights_flat()
+        assert not np.shares_memory(flat, model.flat_weights)
+        assert shapes == [p.data.shape for p in model.parameters()]
+        np.testing.assert_array_equal(
+            flat, np.concatenate([p.data.ravel() for p in model.parameters()]))
+
+    def test_set_weights_flat_adopts_in_one_copy(self):
+        model = _mlp(8).materialize_flat()
+        target = np.arange(model.num_parameters(), dtype=np.float32)
+        model.set_weights_flat(target)
+        np.testing.assert_array_equal(model.flat_weights, target)
+        with pytest.raises(ValueError, match="elements"):
+            model.set_weights_flat(target[:-1])
+
+    def test_state_dict_round_trip_through_views(self):
+        model = _mlp(9).materialize_flat()
+        other = _mlp(10).materialize_flat()
+        other.load_state_dict(model.state_dict())
+        np.testing.assert_array_equal(other.flat_weights, model.flat_weights)
+
+    def test_mixed_dtype_tree_is_a_no_op(self):
+        a = Parameter(np.ones(3))
+        b = Parameter(np.ones(2))
+        b.data = b.data.astype(np.float64)  # force a mixed-dtype tree
+        b.grad = np.zeros(2, dtype=np.float64)
+        before = a.data
+        assert materialize_parameters([a, b]) is None
+        assert a.data is before  # untouched on the fallback
+        assert materialize_parameters([]) is None
+
+    def test_materialize_parameters_returns_plane_pair(self):
+        model = _mlp(11)
+        params = model.parameters()
+        planes = materialize_parameters(params)
+        assert planes is not None
+        weight_plane, grad_plane = planes
+        assert isinstance(weight_plane, ParamPlane)
+        assert isinstance(grad_plane, GradPlane)
+        grad_plane.flat[...] = 1.0
+        grad_plane.zero_()
+        assert (grad_plane.flat == 0.0).all()
+
+    def test_rebind_rejects_mismatches(self):
+        p = Parameter(np.zeros((2, 3), dtype=np.float32))
+        with pytest.raises(ValueError, match="rebind data"):
+            p.rebind(np.zeros((3, 2), dtype=np.float32), np.zeros((2, 3), dtype=np.float32))
+        with pytest.raises(ValueError, match="rebind grad"):
+            p.rebind(np.zeros((2, 3), dtype=np.float32), np.zeros((3, 2), dtype=np.float32))
+
+
+# ---------------------------------------------------------------------------
+# numerical gradients survive re-homing
+# ---------------------------------------------------------------------------
+
+def _smooth_fedmodel(seed=12):
+    """A two-hidden-layer Tanh MLP: smooth everywhere, so the central
+    differences of the numerical check are well defined at every entry
+    (ReLU kinks make sampled checks flaky near zero pre-activations)."""
+    from repro.models.fedmodel import FedModel
+    from repro.nn import Linear, Sequential, Tanh
+
+    rng = RngStream(seed).child("m").generator
+    return FedModel(
+        Sequential(Linear(9, 12, rng=rng), Tanh(), Linear(12, 8, rng=rng), Tanh()),
+        Sequential(Linear(8, 5, rng=rng)),
+        input_shape=(9,), name="smooth-mlp")
+
+
+class TestPlaneBackedGradients:
+    def test_gradcheck_through_plane_backed_model(self, rng):
+        model = _smooth_fedmodel().materialize_flat()
+        x = rng.standard_normal((4, 9)).astype(np.float32)
+        check_layer_gradients(model, x)
+
+    def test_plane_backed_gradients_match_tree_gradients(self, rng):
+        x = rng.standard_normal((4, 9)).astype(np.float32)
+        flat_model = _smooth_fedmodel().materialize_flat()
+        tree_model = _smooth_fedmodel()
+        for model in (flat_model, tree_model):
+            out = model(x)
+            model.zero_grad()
+            model.backward(np.ones_like(out))
+        np.testing.assert_array_equal(
+            flat_model.flat_grads,
+            np.concatenate([p.grad.ravel() for p in tree_model.parameters()]))
+        assert float(np.abs(flat_model.flat_grads).sum()) > 0.0
+
+
+# ---------------------------------------------------------------------------
+# per-optimizer tree-vs-flat byte equivalence
+# ---------------------------------------------------------------------------
+
+OPTIMIZER_CASES = [
+    ("sgd", dict(lr=0.05)),
+    ("sgd+wd", dict(lr=0.05, weight_decay=0.01)),
+    ("sgdm", dict(lr=0.05, momentum=0.9)),
+    ("sgdm+wd", dict(lr=0.05, momentum=0.9, weight_decay=0.01)),
+    ("nesterov", dict(lr=0.05, momentum=0.9, nesterov=True)),
+    ("adam", dict(lr=0.01)),
+    ("adam+wd", dict(lr=0.01, weight_decay=0.01)),
+]
+
+
+class TestOptimizerByteEquivalence:
+    @pytest.mark.parametrize("name,kwargs", OPTIMIZER_CASES, ids=[c[0] for c in OPTIMIZER_CASES])
+    def test_flat_step_matches_tree_step_bytes(self, name, kwargs):
+        cls = Adam if name.startswith("adam") else SGD
+        tree_model = _mlp(20)
+        flat_model = _mlp(20).materialize_flat()
+        tree_opt = cls(tree_model.parameters(), **kwargs)
+        flat_opt = cls(flat_model.parameters(), flat_state=flat_model.flat_state(), **kwargs)
+        rng = np.random.default_rng(0)
+        for step in range(5):
+            if step == 3:  # rounds reset momentum without touching weights
+                tree_opt.reset_state()
+                flat_opt.reset_state()
+            grads = rng.standard_normal(flat_model.num_parameters()).astype(np.float32)
+            flat_model.flat_grads[...] = grads
+            cursor = 0
+            for p in tree_model.parameters():
+                p.grad[...] = grads[cursor:cursor + p.size].reshape(p.data.shape)
+                cursor += p.size
+            tree_opt.step()
+            flat_opt.step()
+            np.testing.assert_array_equal(
+                flat_model.flat_weights,
+                np.concatenate([p.data.ravel() for p in tree_model.parameters()]),
+                err_msg=f"{name} diverged at step {step}")
+
+    def test_weight_decay_folds_in_place_no_fresh_grad_array(self):
+        for cls, kwargs in ((SGD, dict(lr=0.1, weight_decay=0.5)),
+                            (Adam, dict(lr=0.1, weight_decay=0.5))):
+            p = Parameter(np.full(4, 2.0, dtype=np.float32))
+            p.grad[...] = 1.0
+            grad_buffer = p.grad
+            cls([p], **kwargs).step()
+            assert p.grad is grad_buffer
+            np.testing.assert_allclose(p.grad, 1.0 + 0.5 * 2.0, rtol=1e-6)
+
+    def test_flat_state_size_validated(self):
+        model = _mlp(21).materialize_flat()
+        w, g = model.flat_state()
+        with pytest.raises(ValueError, match="flat state"):
+            SGD(model.parameters(), lr=0.1, flat_state=(w[:-1], g[:-1]))
+
+
+# ---------------------------------------------------------------------------
+# per-strategy tree-vs-flat byte equivalence through real client rounds
+# ---------------------------------------------------------------------------
+
+STRATEGY_CASES = ["fedavg", "fedprox", "fedtrip", "fedtrip_adaptive",
+                  "feddyn", "scaffold", "mimelite", "feddane"]
+
+
+def _make_fixture(method: str, flat: bool, max_grad_norm=None):
+    """A one-client training fixture on either the plane path or the tree
+    fallback: (worker, runtime, strategy)."""
+    root = RngStream(0)
+    model = build_model("mlp", (24,), 10, rng=root.child("model-init").generator)
+    frozen = build_model("mlp", (24,), 10, rng=root.child("model-init").generator)
+    frozen.eval()
+    strategy = build_strategy(method)
+    opt_name = strategy.local_optimizer or "sgdm"
+    config = FLConfig(rounds=2, n_clients=2, clients_per_round=2, batch_size=10,
+                      lr=0.05, optimizer=opt_name, max_grad_norm=max_grad_norm)
+    optimizer = make_optimizer(opt_name, model if flat else model.parameters(), config)
+    worker = WorkerContext(model, frozen, optimizer, CrossEntropyLoss())
+
+    rng = np.random.default_rng(5)
+    dataset = ArrayDataset(rng.standard_normal((20, 24)).astype(np.float32),
+                           rng.integers(0, 10, 20))
+    clients = [Client(0, dataset, seed=0)]
+    glob = build_model("mlp", (24,), 10, rng=RngStream(9).child("g").generator)
+    plane = ParamPlane.from_tree(glob.get_weights())
+    runtime = TaskRuntime(clients=clients, strategy=strategy, config=config,
+                          fp_flops=100.0, global_weights=plane.tree,
+                          global_flat=plane.flat if flat else None)
+    tree = plane.tree
+    if method == "scaffold":
+        runtime.server_broadcast = {"c": [np.full_like(w, 0.01) for w in tree]}
+    elif method == "mimelite":
+        runtime.server_broadcast = {"s": [np.full_like(w, 0.02) for w in tree]}
+    elif method == "feddane":
+        runtime.server_broadcast = {"g_agg": [np.full_like(w, 0.03) for w in tree]}
+    return worker, runtime, strategy
+
+
+def _client_round_result(method: str, flat: bool, max_grad_norm=None):
+    """Train one client for two rounds (so historical/variate state is
+    exercised) on either the plane path or the tree fallback."""
+    worker, runtime, strategy = _make_fixture(method, flat, max_grad_norm)
+    state = strategy.init_client_state(0)
+    if method == "feddane":
+        state["grad_at_global"] = [np.full_like(w, 0.01)
+                                   for w in runtime.global_weights]
+    update = None
+    for round_idx in range(2):
+        result = execute_task(
+            ClientTaskSpec(client_id=0, round_idx=round_idx, state=state),
+            worker, runtime)
+        state = result.state
+        update = result.update
+    return update, state
+
+
+def _cross_format_round(method: str, legs):
+    """Round 0 on ``legs[0]``'s path, round 1 on ``legs[1]``'s — the state
+    crosses representations between the rounds (a fresh worker per leg, as
+    when a run is resumed under a different configuration)."""
+    strategy = build_strategy(method)
+    state = strategy.init_client_state(0)
+    update = None
+    for round_idx, flat in enumerate(legs):
+        worker, runtime, _ = _make_fixture(method, flat)
+        result = execute_task(
+            ClientTaskSpec(client_id=0, round_idx=round_idx, state=state),
+            worker, runtime)
+        state = result.state
+        update = result.update
+    return update, state
+
+
+class TestStrategyFlatEquivalence:
+    @pytest.mark.parametrize("method", STRATEGY_CASES)
+    def test_trained_weights_byte_identical(self, method):
+        flat_update, _ = _client_round_result(method, flat=True)
+        tree_update, _ = _client_round_result(method, flat=False)
+        np.testing.assert_array_equal(
+            flat_update.flat_vector(), tree_update.flat_vector(),
+            err_msg=f"{method}: plane path diverged from the tree path")
+        assert flat_update.flops == tree_update.flops
+        assert flat_update.train_loss == tree_update.train_loss
+
+    def test_scaffold_flat_delta_matches_tree_delta(self):
+        flat_update, flat_state = _client_round_result("scaffold", flat=True)
+        tree_update, tree_state = _client_round_result("scaffold", flat=False)
+        assert isinstance(flat_update.extras["c_delta"], np.ndarray)
+        np.testing.assert_array_equal(
+            flat_update.extras["c_delta"],
+            np.concatenate([d.ravel() for d in tree_update.extras["c_delta"]]))
+        np.testing.assert_array_equal(
+            flat_state["c_k"],
+            np.concatenate([c.ravel() for c in tree_state["c_k"]]))
+
+    def test_fedtrip_historical_state_is_flat(self):
+        _, state = _client_round_result("fedtrip", flat=True)
+        assert isinstance(state["historical"], np.ndarray)
+        _, state = _client_round_result("fedtrip", flat=False)
+        assert isinstance(state["historical"], list)
+
+    @pytest.mark.parametrize("method", ["fedtrip", "feddyn", "scaffold"])
+    def test_state_crosses_between_plane_and_tree_runs(self, method):
+        """A state written by a plane-backed run must train identically when
+        resumed on the tree fallback (conversion, not scalar broadcasting),
+        and vice versa."""
+        results = {}
+        for label, legs in (("flat->tree", (True, False)),
+                            ("tree->flat", (False, True)),
+                            ("tree->tree", (False, False))):
+            update, _ = _cross_format_round(method, legs)
+            results[label] = update.flat_vector()
+        np.testing.assert_array_equal(
+            results["flat->tree"], results["tree->tree"],
+            err_msg=f"{method}: flat-born state corrupted the tree path")
+        np.testing.assert_array_equal(
+            results["tree->flat"], results["tree->tree"],
+            err_msg=f"{method}: tree-born state corrupted the flat path")
+
+    def test_upload_does_not_alias_the_worker_plane(self):
+        update, _ = _client_round_result("fedavg", flat=True)
+        snapshot = update.flat_vector().copy()
+        # a later round mutates the worker model; the upload must not move
+        _client_round_result("fedavg", flat=True)
+        np.testing.assert_array_equal(update.flat_vector(), snapshot)
+
+
+# ---------------------------------------------------------------------------
+# flat clipping
+# ---------------------------------------------------------------------------
+
+class TestFlatClipping:
+    def test_flat_clip_matches_tree_clip_values(self):
+        rng = np.random.default_rng(3)
+        grads = (rng.standard_normal(200) * 5).astype(np.float32)
+        params = []
+        cursor = 0
+        for size in (64, 64, 72):
+            p = Parameter(np.zeros(size, dtype=np.float32))
+            p.grad[...] = grads[cursor:cursor + size]
+            cursor += size
+            params.append(p)
+        flat = grads.copy()
+        pre_tree = clip_grad_norm(params, 1.0)
+        pre_flat = clip_grad_norm_flat(flat, 1.0)
+        assert pre_flat == pytest.approx(pre_tree, rel=1e-6)
+        np.testing.assert_allclose(
+            flat, np.concatenate([p.grad for p in params]), rtol=1e-6)
+
+    def test_no_clip_below_threshold(self):
+        g = np.array([0.3, 0.4], dtype=np.float32)
+        assert clip_grad_norm_flat(g, 1.0) == pytest.approx(0.5)
+        np.testing.assert_allclose(g, [0.3, 0.4], rtol=1e-6)
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm_flat(np.ones(2, dtype=np.float32), 0.0)
+
+    def test_strategy_equivalence_holds_under_clipping(self):
+        # Clipping scales are computed from one flat reduction on both legs
+        # here (the tree leg uses a non-plane model, whose per-layer norm
+        # may differ in the last bits) — so compare trajectories loosely.
+        flat_update, _ = _client_round_result("fedtrip", flat=True, max_grad_norm=0.5)
+        tree_update, _ = _client_round_result("fedtrip", flat=False, max_grad_norm=0.5)
+        np.testing.assert_allclose(
+            flat_update.flat_vector(), tree_update.flat_vector(), atol=1e-5)
+
+
+# ---------------------------------------------------------------------------
+# determinism grid on the clipped flat path (the one re-pinned reduction)
+# ---------------------------------------------------------------------------
+
+TINY_CLIP = dict(dataset="tiny", model="mlp", method="fedtrip", n_clients=4,
+                 clients_per_round=2, rounds=3, batch_size=20, lr=0.05,
+                 max_grad_norm=0.5)
+
+
+def _signature(history):
+    return [
+        (r.round_idx, tuple(r.selected), r.test_accuracy, r.test_loss,
+         r.mean_train_loss, r.cumulative_flops, r.cumulative_comm_bytes)
+        for r in history.records
+    ]
+
+
+class TestClippedDeterminismGrid:
+    def test_byte_identity_across_executors_and_modes(self):
+        """Fixed seed => byte-identical History on the clipped flat path,
+        for every executor x mode cell (the flat grad norm is one reduction,
+        applied uniformly everywhere).  Sync and full-buffer semisync share
+        one reference (semisync degenerates to the barrier loop); async —
+        the mode that needs clipping in production — aggregates differently
+        by design, so its cells get their own cross-executor reference."""
+        references = {}
+        for executor in ("serial", "threaded", "process"):
+            for mode in ("sync", "semisync", "async"):
+                spec = ExperimentSpec(**{**TINY_CLIP, "executor": executor,
+                                         "mode": mode,
+                                         "n_workers": 2 if executor != "serial" else 1,
+                                         **({"device_profile": "iot"}
+                                            if mode != "sync" else {})})
+                sig = _signature(run_experiment(spec))
+                key = "async" if mode == "async" else "barrier"
+                if key not in references:
+                    references[key] = sig
+                else:
+                    assert sig == references[key], f"{executor}/{mode} diverged"
+        assert references["async"] != references["barrier"]  # sanity: it ran
