@@ -1,0 +1,179 @@
+"""Byzantine robustness: robust aggregation rules vs a sign-flip attack.
+
+The acceptance experiment for the ``repro.fl.robust`` subsystem.  A
+64-client mini_mnist/MLP workload (full participation, IID shards) is
+attacked by ``sign_flip`` adversaries — a seeded quarter (and, in the full
+run, an eighth) of the fleet submits ``g - gamma * (w - g)``, the honest
+delta reflected about the global weights and boosted by ``gamma`` — and
+each aggregation rule is asked to train through it:
+
+* **mean** — plain sample-weighted FedAvg, the undefended baseline.  The
+  reflected deltas enter the average at full weight, so the attack drags
+  the model backwards every round.
+* **coordinate_median / trimmed_mean** — coordinate-wise order statistics
+  with breakdown point 1/2 (resp. ``beta``); at f/K = 0.25 the corrupted
+  rows land outside the middle of every coordinate's order and vanish.
+* **multi_krum / norm_screen** — selection rules: score rows by
+  neighbour distances (resp. update norm) and aggregate the survivors
+  only.  Both also *report* who they screened, which the History records.
+
+The headline assertion is the ISSUE acceptance criterion: under sign-flip
+at f/K = 0.25, ``coordinate_median``, ``trimmed_mean`` and ``multi_krum``
+must all reach >= 90% of the no-attack final accuracy while the undefended
+mean degrades below it.
+
+Output: ``benchmarks/out/robust_aggregation.json`` plus (on a repo
+checkout) the root ``BENCH_robust.json`` artifact consumed by CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from harness import print_table, save_json  # noqa: E402
+
+from repro.api import ExperimentSpec, run_experiment  # noqa: E402
+
+N_CLIENTS = 64
+ROUNDS = 20
+GAMMA = 5.0
+#: robust rules must retain this share of the clean final accuracy
+RETENTION = 0.90
+
+WORKLOAD = dict(
+    dataset="mini_mnist", model="mlp", method="fedavg", partition="iid",
+    n_clients=N_CLIENTS, clients_per_round=N_CLIENTS,
+    samples_per_client=40, batch_size=20, lr=0.05, seed=0,
+)
+
+#: (label, aggregator, aggregator_kwargs).  Screening parameters are sized
+#: for the f/K = 0.25 worst case; at the milder fraction they are simply
+#: over-provisioned, which a robust deployment would be anyway.
+AGGREGATORS = [
+    ("mean", "mean", {}),
+    ("coordinate_median", "coordinate_median", {}),
+    ("trimmed_mean", "trimmed_mean", {"beta": 0.25}),
+    ("multi_krum", "multi_krum", {"f": 16}),
+    ("norm_screen", "norm_screen", {"f": 16}),
+]
+
+#: the rules the acceptance criterion names
+HEADLINE = ("coordinate_median", "trimmed_mean", "multi_krum")
+
+
+def _spec(rounds, aggregator, agg_kwargs, fraction) -> ExperimentSpec:
+    attack = {}
+    if fraction > 0.0:
+        attack = dict(adversary="sign_flip", adversary_fraction=fraction,
+                      adversary_kwargs={"gamma": GAMMA})
+    return ExperimentSpec(**WORKLOAD, rounds=rounds, aggregator=aggregator,
+                          aggregator_kwargs=agg_kwargs, **attack)
+
+
+def _final_accuracy(hist) -> float:
+    """Mean test accuracy over the last 3 rounds — one round's jitter must
+    not decide a pass/fail retention ratio."""
+    accs = [r.test_accuracy for r in hist.records[-3:] if r.test_accuracy is not None]
+    return float(sum(accs) / len(accs))
+
+
+def _measure(data, rounds, aggregator, agg_kwargs, fraction):
+    hist = run_experiment(_spec(rounds, aggregator, agg_kwargs, fraction), data=data)
+    adversaries = sorted({c for r in hist.records
+                          for c in (r.adversary_clients or [])})
+    return {
+        "final_accuracy": round(_final_accuracy(hist), 3),
+        "best_accuracy": round(hist.best_accuracy(), 3),
+        "n_adversaries": len(adversaries),
+        "screened_updates": len(hist.screened_client_ids()),
+        "adversary_hit_rate": (
+            None if not hist.screened_client_ids()
+            else round(hist.adversary_hit_rate(), 4)),
+        "skipped_rounds": hist.skipped_rounds(),
+    }
+
+
+def _run(rounds: int = ROUNDS, fractions=(0.0, 0.125, 0.25)):
+    data = _spec(rounds, "mean", {}, 0.0).build_data()
+
+    # One clean baseline; every attacked cell is measured against it.
+    clean = _measure(data, rounds, "mean", {}, 0.0)
+    clean_acc = clean["final_accuracy"]
+
+    cells = {}
+    for fraction in [f for f in fractions if f > 0.0]:
+        row = {}
+        for label, aggregator, kwargs in AGGREGATORS:
+            r = _measure(data, rounds, aggregator, kwargs, fraction)
+            r["retention_vs_clean"] = round(r["final_accuracy"] / clean_acc, 4)
+            row[label] = r
+        cells[f"{fraction:g}"] = row
+
+    worst = cells[f"{max(fractions):g}"]
+    payload = {
+        "workload": {**WORKLOAD, "rounds": rounds,
+                     "attack": "sign_flip", "gamma": GAMMA,
+                     "fractions": list(fractions)},
+        "clean_baseline": clean,
+        "attacked": cells,
+        "criterion": {
+            "retention_threshold": RETENTION,
+            "at_fraction": max(fractions),
+            "robust_rules": {k: worst[k]["retention_vs_clean"] for k in HEADLINE},
+            "undefended_mean": worst["mean"]["retention_vs_clean"],
+        },
+    }
+    save_json("robust_aggregation", payload)
+
+    # The root-level artifact: the per-PR robustness record CI publishes.
+    root = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+    if os.path.isfile(os.path.join(root, "ROADMAP.md")):
+        with open(os.path.join(root, "BENCH_robust.json"), "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+
+    for fraction, row in cells.items():
+        print_table(
+            f"sign-flip f/K={fraction} (gamma {GAMMA:g}, {N_CLIENTS} clients, "
+            f"clean final {clean_acc:.2f}%)",
+            ["aggregator", "final %", "retention", "screened", "hit rate"],
+            [[label,
+              f"{r['final_accuracy']:.2f}",
+              f"{r['retention_vs_clean']:.3f}",
+              r["screened_updates"],
+              "-" if r["adversary_hit_rate"] is None
+              else f"{r['adversary_hit_rate']:.3f}"]
+             for label, r in row.items()],
+        )
+
+    for label in HEADLINE:
+        retention = worst[label]["retention_vs_clean"]
+        assert retention >= RETENTION, (
+            f"{label} must retain >={RETENTION:.0%} of clean accuracy under "
+            f"sign-flip at f/K={max(fractions):g}: got {retention:.3f} "
+            f"({worst[label]['final_accuracy']:.2f}% vs {clean_acc:.2f}%)")
+    mean_retention = worst["mean"]["retention_vs_clean"]
+    assert mean_retention < RETENTION, (
+        f"undefended mean should degrade under the attack the robust rules "
+        f"survive: retained {mean_retention:.3f}")
+    return payload
+
+
+def test_robust_aggregation(benchmark):
+    from conftest import run_once
+
+    run_once(benchmark, lambda: _run(fractions=(0.0, 0.25)))
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="measure the worst-case fraction only, "
+                             "instead of the full fraction grid")
+    args = parser.parse_args()
+    _run(fractions=(0.0, 0.25) if args.quick else (0.0, 0.125, 0.25))

@@ -39,6 +39,14 @@ from repro.api.callbacks import (
     ProgressLogger,
 )
 from repro.api.engine import Engine, run_experiment
+from repro.fl.robust import (
+    available_adversaries,
+    available_aggregators,
+    build_adversary,
+    build_aggregator,
+    register_adversary,
+    register_aggregator,
+)
 
 __all__ = [
     "ExperimentSpec",
@@ -58,4 +66,10 @@ __all__ = [
     "available_modes",
     "build_mode",
     "register_mode",
+    "available_aggregators",
+    "build_aggregator",
+    "register_aggregator",
+    "available_adversaries",
+    "build_adversary",
+    "register_adversary",
 ]

@@ -112,6 +112,15 @@ class Engine:
         If ``config.target_accuracy`` is set and no
         :class:`~repro.api.callbacks.EarlyStopping` is supplied, one is
         attached automatically so the loop actually stops at the target.
+    aggregator:
+        Optional :class:`~repro.fl.robust.aggregators.RobustAggregator`
+        replacing the strategy's weighted-mean ``aggregate`` hook (built
+        from ``ExperimentSpec.aggregator`` via the aggregator registry).
+        ``None`` keeps the legacy strategy path byte-identical.
+    adversary:
+        Optional :class:`~repro.fl.robust.adversaries.Adversary`: poisons
+        roster clients' datasets at construction and corrupts their uploads
+        inside the executor path (built from ``ExperimentSpec.adversary``).
     """
 
     def __init__(
@@ -127,6 +136,8 @@ class Engine:
         client_latency_s: float = 0.0,
         system_model=None,
         callbacks: Iterable[Callback] = (),
+        aggregator=None,
+        adversary=None,
     ) -> None:
         if config.n_clients != data.n_clients:
             raise ValueError(
@@ -162,10 +173,18 @@ class Engine:
         self._model_fn = model_fn
         canonical = model_fn()
         self.profile = profile_model(canonical)
-        self.server = Server(canonical.get_weights(), strategy, config)
+        self.server = Server(canonical.get_weights(), strategy, config, aggregator=aggregator)
+        self.adversary = adversary
+        if adversary is not None and adversary.n_clients != config.n_clients:
+            raise ValueError(
+                f"adversary roster was drawn over {adversary.n_clients} clients, "
+                f"config has {config.n_clients}"
+            )
         self.clients: List[Client] = [
             Client(k, data.client_dataset(k), seed=config.seed) for k in range(data.n_clients)
         ]
+        if adversary is not None:
+            adversary.poison_clients(self.clients, data.spec.num_classes)
         for c in self.clients:
             c.state = strategy.init_client_state(c.id)
         self.sampler = sampler if sampler is not None else UniformSampler(
@@ -191,6 +210,7 @@ class Engine:
             config=config,
             fp_flops=float(self.profile.forward_flops),
             global_weights=self.server.weights,
+            adversary=adversary,
         )
         self.executor = build_executor(executor, engine=self, n_workers=n_workers)
         self.history = History()
@@ -254,6 +274,7 @@ class Engine:
             model_name=self._model_name,
             opt_name=self._opt_name,
             fp_flops=float(self.profile.forward_flops),
+            adversary=self.adversary,
         )
 
     # ------------------------------------------------------------------
@@ -369,7 +390,12 @@ class Engine:
         t0: float,
         update_staleness: Optional[List[int]] = None,
     ) -> RoundRecord:
-        """Phase 7: cost bookkeeping + append the round record."""
+        """Phase 7: cost bookkeeping + append the round record.
+
+        The aggregation-health fields come straight off the server's
+        per-round report (dropped/screened/skipped); the adversary labels
+        intersect this round's participants with the static roster.
+        """
         self._observe_virtual_time(updates)
         round_flops = sum(u.flops for u in updates)
         round_comm = sum(u.comm_bytes for u in updates)
@@ -389,6 +415,16 @@ class Engine:
                 if update_staleness is not None
                 else ([0] * len(updates) if self._virtual_time_s is not None else None)
             ),
+            dropped_clients=list(self.server.last_dropped),
+            screened_clients=list(self.server.last_screened),
+            adversary_clients=(
+                sorted(
+                    u.client_id for u in updates
+                    if self.adversary.is_adversary(u.client_id)
+                )
+                if self.adversary is not None else None
+            ),
+            round_skipped=self.server.last_skipped,
         )
         self.history.append(record)
         self._fire("on_round_end", record)

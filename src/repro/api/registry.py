@@ -267,6 +267,8 @@ def _sync_mode(spec, data, callbacks):
         executor=spec.executor,
         system_model=spec.build_system_model(),
         callbacks=callbacks,
+        aggregator=spec.build_aggregator(),
+        adversary=spec.build_adversary(),
     )
 
 
@@ -292,6 +294,8 @@ def _event_driven_mode(spec, data, callbacks, mode: str):
         n_workers=spec.n_workers,
         executor=spec.executor,
         callbacks=callbacks,
+        aggregator=spec.build_aggregator(),
+        adversary=spec.build_adversary(),
     )
 
 

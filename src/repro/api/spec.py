@@ -109,11 +109,35 @@ class ExperimentSpec:
     #: async mixing weight: alpha * (1 + staleness)^(-poly).
     async_alpha: float = 0.6
     async_poly: float = 0.5
+    # -- Byzantine robustness (repro.fl.robust) ------------------------------
+    #: robust-aggregation registry name ("mean" | "coordinate_median" |
+    #: "trimmed_mean" | "norm_clip" | "norm_screen" | "krum" |
+    #: "multi_krum"); "mean" keeps the legacy strategy.aggregate path
+    #: byte-identical.
+    aggregator: str = "mean"
+    #: rule-specific arguments, e.g. {"beta": 0.25} or {"f": 2, "m": 4}.
+    aggregator_kwargs: Pairs = ()
+    #: adversary registry name ("sign_flip" | "scale" | "gauss_noise" |
+    #: "label_flip" | "collude"); None = no attack.
+    adversary: Optional[str] = None
+    #: fraction of the n_clients roster acting maliciously (the f/K knob);
+    #: must be positive iff an adversary is set.
+    adversary_fraction: float = 0.0
+    #: attack-specific arguments, e.g. {"gamma": 5.0} or {"sigma": 0.5}.
+    adversary_kwargs: Pairs = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "overrides", _as_pairs(self.overrides, "overrides"))
         object.__setattr__(
             self, "sampler_kwargs", _as_pairs(self.sampler_kwargs, "sampler_kwargs")
+        )
+        object.__setattr__(
+            self, "aggregator_kwargs",
+            _as_pairs(self.aggregator_kwargs, "aggregator_kwargs"),
+        )
+        object.__setattr__(
+            self, "adversary_kwargs",
+            _as_pairs(self.adversary_kwargs, "adversary_kwargs"),
         )
         # A knob that silently does nothing would change the experiment the
         # user believes they ran (same philosophy as from_dict's unknown-key
@@ -129,6 +153,30 @@ class ExperimentSpec:
                     "heterogeneity scales a device profile's compute speeds; "
                     "sync mode without device_profile has no profile to spread"
                 )
+        if self.aggregator == "mean" and self.aggregator_kwargs:
+            raise ValueError(
+                "aggregator_kwargs apply to a robust aggregation rule; the "
+                "default 'mean' takes none — pick an aggregator"
+            )
+        if not 0.0 <= self.adversary_fraction <= 1.0:
+            raise ValueError(
+                f"adversary_fraction must be in [0, 1], got {self.adversary_fraction}"
+            )
+        if self.adversary is not None and self.adversary_fraction == 0.0:
+            raise ValueError(
+                f"adversary={self.adversary!r} with adversary_fraction=0 "
+                "attacks nobody; set a positive fraction"
+            )
+        if self.adversary is None and self.adversary_fraction != 0.0:
+            raise ValueError(
+                "adversary_fraction without an adversary does nothing; "
+                "set adversary= to an attack model"
+            )
+        if self.adversary is None and self.adversary_kwargs:
+            raise ValueError(
+                "adversary_kwargs without an adversary do nothing; "
+                "set adversary= to an attack model"
+            )
 
     # ------------------------------------------------------------------
     # axes / serialization
@@ -147,6 +195,8 @@ class ExperimentSpec:
         d = {f.name: getattr(self, f.name) for f in fields(self)}
         d["overrides"] = dict(self.overrides)
         d["sampler_kwargs"] = dict(self.sampler_kwargs)
+        d["aggregator_kwargs"] = dict(self.aggregator_kwargs)
+        d["adversary_kwargs"] = dict(self.adversary_kwargs)
         return d
 
     # Legacy ``ExperimentCell`` spelling, kept for the sweep store.
@@ -225,6 +275,33 @@ class ExperimentSpec:
             clients_per_round=self.clients_per_round,
             seed=self.seed,
             **dict(self.sampler_kwargs),
+        )
+
+    def build_aggregator(self):
+        """The robust aggregation rule, or ``None`` for the default mean.
+
+        Returning ``None`` (rather than a ``MeanAggregator``) keeps the
+        legacy ``strategy.aggregate`` path — and its byte-identical
+        histories — completely untouched when no robust rule is requested.
+        """
+        if self.aggregator == "mean":
+            return None
+        from repro.fl.robust import build_aggregator
+
+        return build_aggregator(self.aggregator, **dict(self.aggregator_kwargs))
+
+    def build_adversary(self):
+        """The seeded adversary model, or ``None`` when no attack is set."""
+        if self.adversary is None:
+            return None
+        from repro.fl.robust import build_adversary
+
+        return build_adversary(
+            self.adversary,
+            n_clients=self.n_clients,
+            fraction=self.adversary_fraction,
+            seed=self.seed,
+            **dict(self.adversary_kwargs),
         )
 
     def build_system_model(self, default: Optional[str] = None) -> Optional[SystemModel]:

@@ -27,6 +27,8 @@ from typing import Any, Dict, List, Optional
 from repro.analysis import compare_fedprox_fedtrip, expected_xi
 from repro.api import (
     ExperimentSpec,
+    available_adversaries,
+    available_aggregators,
     available_executors,
     available_modes,
     available_samplers,
@@ -84,6 +86,27 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
                    help="compute-speed spread h >= 1: clients run at a "
                         "seeded factor in [1/h, 1] of the profile speed "
                         "(the straggler knob)")
+    p.add_argument("--aggregator", default="mean",
+                   choices=available_aggregators(),
+                   help="server aggregation rule: 'mean' is the default "
+                        "weighted average; the others are Byzantine-robust "
+                        "reductions over the stacked client matrix "
+                        "(see repro.fl.robust)")
+    p.add_argument("--aggregator-arg", action="append", default=[],
+                   metavar="KEY=VALUE",
+                   help="aggregation-rule parameter, repeatable "
+                        "(e.g. beta=0.25 for trimmed_mean, f=2 for krum)")
+    p.add_argument("--adversary", default=None,
+                   choices=available_adversaries(),
+                   help="Byzantine attack model corrupting a seeded subset "
+                        "of clients (requires --adversary-fraction > 0)")
+    p.add_argument("--adversary-fraction", type=float, default=0.0,
+                   dest="adversary_fraction",
+                   help="fraction of clients acting maliciously (f/K)")
+    p.add_argument("--adversary-arg", action="append", default=[],
+                   metavar="KEY=VALUE",
+                   help="attack parameter, repeatable (e.g. gamma=5 for "
+                        "sign_flip/scale, sigma=0.5 for gauss_noise)")
 
 
 def _parse_value(text: str) -> Any:
@@ -131,6 +154,11 @@ def _spec_from_args(args, method: Optional[str] = None,
         buffer_size=args.buffer_size,
         device_profile=args.device_profile,
         heterogeneity=args.heterogeneity,
+        aggregator=args.aggregator,
+        aggregator_kwargs=_parse_kv(args.aggregator_arg),
+        adversary=args.adversary,
+        adversary_fraction=args.adversary_fraction,
+        adversary_kwargs=_parse_kv(args.adversary_arg),
     )
 
 
@@ -139,6 +167,9 @@ def cmd_train(args) -> int:
     hist = run_experiment(spec)
     print(f"method={spec.method} dataset={spec.dataset} model={spec.model} "
           f"sampler={spec.sampler}")
+    if spec.aggregator != "mean" or spec.adversary is not None:
+        print(f"aggregator={spec.aggregator} adversary={spec.adversary} "
+              f"fraction={spec.adversary_fraction}")
     if hist.stop_reason:
         print(f"stopped early after {len(hist)} rounds: {hist.stop_reason}")
     print(f"best accuracy : {hist.best_accuracy():.2f}%")
@@ -146,6 +177,12 @@ def cmd_train(args) -> int:
         print(f"rounds to {args.target}%: {hist.rounds_to_accuracy(args.target)}")
     print(f"total GFLOPs  : {hist.total_gflops():.3f}")
     print(f"total comm MB : {hist.total_comm_mb():.2f}")
+    skipped = hist.skipped_rounds()
+    dropped = hist.dropped_client_ids()
+    screened = hist.screened_client_ids()
+    if skipped or dropped or screened:
+        print(f"agg health    : {skipped} skipped round(s), "
+              f"{len(dropped)} dropped, {len(screened)} screened update(s)")
     simulated = [r.virtual_time_s for r in hist.records if r.virtual_time_s is not None]
     if simulated:
         print(f"simulated time: {simulated[-1] / 3600.0:.3f} h "

@@ -11,6 +11,17 @@ from repro.fl.aggregation import (
     weighted_average_trees,
     weighted_average_trees_loop,
 )
+from repro.fl.robust import (
+    Adversary,
+    RobustAggregator,
+    available_adversaries,
+    available_aggregators,
+    build_adversary,
+    build_aggregator,
+    register_adversary,
+    register_aggregator,
+    robust_aggregate,
+)
 from repro.fl.client import Client, run_client_round
 from repro.fl.server import Server
 from repro.fl.evaluation import evaluate_model, full_batch_gradient
@@ -59,6 +70,15 @@ __all__ = [
     "weighted_average_flat",
     "weighted_average_trees",
     "weighted_average_trees_loop",
+    "Adversary",
+    "RobustAggregator",
+    "available_adversaries",
+    "available_aggregators",
+    "build_adversary",
+    "build_aggregator",
+    "register_adversary",
+    "register_aggregator",
+    "robust_aggregate",
     "Client",
     "run_client_round",
     "Server",

@@ -40,12 +40,29 @@ __all__ = [
 
 
 def _normalized(weights: Sequence[float], n: int) -> np.ndarray:
+    """Validate and sum-normalize aggregation weights.
+
+    Shared by the GEMM path and the tree-loop fallback, so both raise the
+    same, specific error: non-finite weights, negative weights, and an
+    all-zero sum (e.g. every client reported zero samples) each get their
+    own message instead of a silent divide producing NaN weights.  ``n = 1``
+    degenerates to the single weight normalizing to exactly 1.0, so a K=1
+    "average" returns that update's values unchanged (pinned by tests).
+    """
     w = np.asarray(weights, dtype=np.float64)
     if w.size != n:
         raise ValueError("one weight per tree required")
-    if (w < 0).any() or w.sum() <= 0:
-        raise ValueError("weights must be non-negative with positive sum")
-    return w / w.sum()
+    if not np.isfinite(w).all():
+        raise ValueError("aggregation weights must be finite")
+    if (w < 0).any():
+        raise ValueError("aggregation weights must be non-negative")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError(
+            "aggregation weights sum to zero; cannot form a weighted average "
+            "(did every client report zero samples?)"
+        )
+    return w / total
 
 
 def weighted_average_flat(mat: np.ndarray, weights: Sequence[float]) -> np.ndarray:

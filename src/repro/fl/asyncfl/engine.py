@@ -49,6 +49,7 @@ import numpy as np
 from repro.algorithms.base import Strategy
 from repro.data.federated import FederatedData
 from repro.fl.aggregation import weighted_average_trees
+from repro.fl.robust.aggregators import robust_aggregate
 from repro.fl.asyncfl.clock import Event, EventQueue, VirtualClock
 from repro.fl.asyncfl.timing import ClientTimingModel
 from repro.fl.executor import ClientTaskSpec, TaskResult
@@ -124,6 +125,8 @@ class AsyncFLEngine(Engine):
         n_workers: int = 1,
         executor: str = "auto",
         callbacks: Iterable[Callback] = (),
+        aggregator=None,
+        adversary=None,
     ) -> None:
         # All validation happens before super().__init__ builds the
         # executor — raising afterwards would leak a spawned worker pool.
@@ -180,7 +183,7 @@ class AsyncFLEngine(Engine):
         super().__init__(
             data, strategy, config, model_name=model_name, model_fn=model_fn,
             sampler=sampler, n_workers=n_workers, executor=executor,
-            callbacks=callbacks,
+            callbacks=callbacks, aggregator=aggregator, adversary=adversary,
         )
         self.timing = timing
         self.mode = mode
@@ -292,16 +295,27 @@ class AsyncFLEngine(Engine):
         Runs on the flat parameter vectors — one float64 accumulator folds
         the whole batch, written back to the server's plane once — with the
         tree-pair average kept as the mixed-dtype fallback.
+
+        With a robust aggregator attached the per-update fold is replaced by
+        *reduce-then-mix*: the robust rule reduces the healthy batch to one
+        vector (coordinate medians and Krum selection have no sequential
+        formulation), and a single mix lands it with the alpha of the
+        freshest accepted update — screened clients therefore contribute
+        neither values nor mixing weight.
         """
         updates = [a.update for a in batch]
         self._fire("on_aggregate", round_idx, updates, self.server.weights)
         for observer in self.update_observers:
             observer(updates, self.server.weights)
+        self.server.reset_report()
         # A client is never in flight twice, so client ids are unique per batch.
         healthy_ids = {u.client_id for u in self.server.partition_finite(updates)}
         healthy = [a for a in batch if a.update.client_id in healthy_ids]
         if not healthy:
             self.server.skip_round()
+            return
+        if self.server.aggregator is not None:
+            self._apply_async_robust(healthy)
             return
         flat = self.server.plane.flat
         if flat is not None and all(a.update.flat_vector() is not None for a in healthy):
@@ -322,6 +336,39 @@ class AsyncFLEngine(Engine):
                 )
             self.server.weights = weights
         self.server.round_idx += 1
+
+    def _apply_async_robust(self, healthy: List[_Arrival]) -> None:
+        """Reduce-then-mix for robust rules in the async mode (see
+        :meth:`_apply_async`); ``healthy`` is non-empty and finite."""
+        server = self.server
+        new_tree, screened = robust_aggregate(
+            server.aggregator,
+            [a.update for a in healthy],
+            server.weights,
+            global_flat=server.plane.flat,
+        )
+        if screened:
+            server.last_screened = screened
+            _log.info("round %d: %s screened client(s): %s",
+                      server.round_idx, server.aggregator.name, screened)
+        accepted = [a for a in healthy if a.update.client_id not in set(screened)]
+        # Screening rules always keep >= 1 row (enforced at reduce time),
+        # so `accepted` is never empty here.
+        stale = min(a.staleness for a in accepted)
+        alpha = self.async_alpha * (1.0 + stale) ** (-self.async_poly)
+        flat = server.plane.flat
+        if flat is not None:
+            reduced = np.concatenate(
+                [np.asarray(a, np.float64).ravel() for a in new_tree]
+            )
+            server.plane.copy_from_flat(
+                (1.0 - alpha) * flat.astype(np.float64) + alpha * reduced
+            )
+        else:  # pragma: no cover - models are uniformly float32
+            server.weights = weighted_average_trees(
+                [server.weights, new_tree], [1.0 - alpha, alpha]
+            )
+        server.round_idx += 1
 
     # ------------------------------------------------------------------
     # the event-driven round

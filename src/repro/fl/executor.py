@@ -33,6 +33,7 @@ import numpy as np
 from repro.algorithms.base import ClientRoundContext, Strategy
 from repro.fl.client import Client, run_client_round
 from repro.fl.params import ParamPlane
+from repro.fl.robust.adversaries import Adversary
 from repro.fl.types import ClientUpdate, FLConfig
 from repro.models.fedmodel import FedModel
 from repro.nn.losses import CrossEntropyLoss
@@ -164,6 +165,11 @@ class TaskRuntime:
     #: ``global_weights``); None when the broadcast was a plain tree, in
     #: which case workers take the per-layer adoption fallback.
     global_flat: Optional[np.ndarray] = None
+    #: optional :class:`~repro.fl.robust.adversaries.Adversary` corrupting
+    #: roster clients' uploads inside :func:`execute_task` — the one code
+    #: path every backend shares, so the attack composes identically with
+    #: serial/threaded/process executors and sync/semisync/async modes.
+    adversary: Optional[Adversary] = None
 
 
 def build_round_context(
@@ -207,7 +213,13 @@ def build_round_context(
 
 
 def execute_task(task: ClientTaskSpec, worker: WorkerContext, runtime: TaskRuntime) -> TaskResult:
-    """Run one client task on one worker context (any backend, any process)."""
+    """Run one client task on one worker context (any backend, any process).
+
+    When the runtime carries an adversary and this client is on its roster,
+    the honest update is corrupted *here*, at upload time — after local
+    training, before the result leaves the worker — so every backend and
+    server mode sees the identical crafted update.
+    """
     if task.emulate_seconds > 0.0:
         time.sleep(task.emulate_seconds)
     client = runtime.clients[task.client_id]
@@ -217,6 +229,11 @@ def execute_task(task: ClientTaskSpec, worker: WorkerContext, runtime: TaskRunti
     )
     update = run_client_round(client, runtime.strategy, ctx)
     update.flops += task.preamble_flops
+    adversary = runtime.adversary
+    if adversary is not None and adversary.is_adversary(task.client_id):
+        update = adversary.corrupt_update(
+            update, task.round_idx, runtime.global_flat, runtime.global_weights
+        )
     return TaskResult(update=update, state=ctx.state)
 
 

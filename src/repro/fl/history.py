@@ -78,6 +78,40 @@ class History:
                 out.extend(float(s) for s in r.update_staleness)
         return np.array(out, dtype=np.float64)
 
+    # -- aggregation health ---------------------------------------------------
+    def skipped_rounds(self) -> int:
+        """Rounds the server abandoned because every update was non-finite."""
+        return sum(1 for r in self.records if r.round_skipped)
+
+    def dropped_client_ids(self) -> List[int]:
+        """Every id the finite-check shed, in round order (with repeats —
+        a flapping client appears once per round it was dropped)."""
+        out: List[int] = []
+        for r in self.records:
+            out.extend(r.dropped_clients)
+        return out
+
+    def screened_client_ids(self) -> List[int]:
+        """Every id a robust aggregation rule excluded, in round order
+        (with repeats)."""
+        out: List[int] = []
+        for r in self.records:
+            out.extend(r.screened_clients)
+        return out
+
+    def adversary_hit_rate(self) -> float:
+        """Fraction of screened ids that actually sat on the adversary
+        roster — a precision measure for screening rules (NaN when nothing
+        was screened or no adversary labels were recorded)."""
+        screened = hits = 0
+        for r in self.records:
+            if r.adversary_clients is None or not r.screened_clients:
+                continue
+            roster = set(r.adversary_clients)
+            screened += len(r.screened_clients)
+            hits += sum(1 for c in r.screened_clients if c in roster)
+        return hits / screened if screened else float("nan")
+
     # -- derived metrics ------------------------------------------------------
     def ema_accuracy(self, alpha: float = 0.3) -> np.ndarray:
         """Exponential moving average of the accuracy curve (paper Fig. 5).

@@ -51,6 +51,7 @@ from repro.fl.executor import (
 # WeightLayout's home is repro.fl.params since the flat-parameter refactor;
 # re-exported here for backward compatibility.
 from repro.fl.params import ParamPlane, WeightLayout
+from repro.fl.robust.adversaries import Adversary
 from repro.fl.types import FLConfig
 from repro.models import build_model
 from repro.nn.losses import CrossEntropyLoss
@@ -73,6 +74,10 @@ class ProcessWorkerSpec:
     model_name: str
     opt_name: str
     fp_flops: float
+    #: optional Byzantine adversary — picklable by construction (holds only
+    #: plain numbers and its roster tuple); workers re-apply its data
+    #: poisoning to their locally rebuilt clients.
+    adversary: Optional[Adversary] = None
     #: filled in by ProcessExecutor.__init__, never by the engine
     layout: Optional[WeightLayout] = None
     shm_name: str = ""
@@ -147,6 +152,10 @@ def _init_worker(spec: ProcessWorkerSpec) -> None:
         Client(k, spec.data.client_dataset(k), seed=spec.config.seed)
         for k in range(spec.data.n_clients)
     ]
+    if spec.adversary is not None:
+        # Same data poisoning the engine applied to its own client list;
+        # deterministic, so both sides see identical shards.
+        spec.adversary.poison_clients(clients, data_spec.num_classes)
     _RUNTIME = TaskRuntime(
         clients=clients,
         strategy=spec.strategy,
@@ -154,6 +163,7 @@ def _init_worker(spec: ProcessWorkerSpec) -> None:
         fp_flops=spec.fp_flops,
         global_weights=views,
         global_flat=flat_view,
+        adversary=spec.adversary,
     )
 
 

@@ -1,0 +1,62 @@
+"""Byzantine-robust aggregation and deterministic adversary injection.
+
+Two registry-pluggable subsystems (see the module docstrings for the
+theory and determinism contracts):
+
+* :mod:`repro.fl.robust.aggregators` — robust reductions over the stacked
+  ``(K, P)`` client matrix (coordinate median, trimmed mean, norm
+  clip/screen, Krum/multi-Krum), resolved by ``Server.apply_updates`` from
+  ``ExperimentSpec.aggregator``.
+* :mod:`repro.fl.robust.adversaries` — seeded attack models (sign flip,
+  scaling, Gaussian noise, label flip, collusion) applied at upload time in
+  the executor path, selected by ``ExperimentSpec.adversary`` /
+  ``adversary_fraction``.
+"""
+
+from repro.fl.robust.adversaries import (
+    Adversary,
+    Collude,
+    GaussNoise,
+    LabelFlip,
+    Scale,
+    SignFlip,
+    available_adversaries,
+    build_adversary,
+    register_adversary,
+)
+from repro.fl.robust.aggregators import (
+    CoordinateMedian,
+    MeanAggregator,
+    MultiKrum,
+    NormClip,
+    NormScreen,
+    RobustAggregator,
+    TrimmedMean,
+    available_aggregators,
+    build_aggregator,
+    register_aggregator,
+    robust_aggregate,
+)
+
+__all__ = [
+    "Adversary",
+    "Collude",
+    "GaussNoise",
+    "LabelFlip",
+    "Scale",
+    "SignFlip",
+    "available_adversaries",
+    "build_adversary",
+    "register_adversary",
+    "CoordinateMedian",
+    "MeanAggregator",
+    "MultiKrum",
+    "NormClip",
+    "NormScreen",
+    "RobustAggregator",
+    "TrimmedMean",
+    "available_aggregators",
+    "build_aggregator",
+    "register_aggregator",
+    "robust_aggregate",
+]

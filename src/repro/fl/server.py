@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.fl.params import ParamPlane
+from repro.fl.robust.aggregators import RobustAggregator, robust_aggregate
 from repro.fl.types import ClientUpdate, FLConfig
 from repro.utils.logging import get_logger
 
@@ -33,13 +34,37 @@ class Server:
     already, since the old code also rebound ``weights`` every round).
     """
 
-    def __init__(self, initial_weights: List[np.ndarray], strategy, config: FLConfig) -> None:
+    def __init__(
+        self,
+        initial_weights: List[np.ndarray],
+        strategy,
+        config: FLConfig,
+        aggregator: Optional[RobustAggregator] = None,
+    ) -> None:
+        if aggregator is not None:
+            from repro.algorithms.base import Strategy
+
+            if type(strategy).aggregate is not Strategy.aggregate:
+                raise ValueError(
+                    f"robust aggregator {aggregator.name!r} would silently "
+                    f"override {type(strategy).__name__}.aggregate; robust "
+                    "aggregation composes only with strategies that use the "
+                    "default weighted mean"
+                )
         self.plane = ParamPlane.from_tree(initial_weights)
         self.strategy = strategy
         self.config = config
+        self.aggregator = aggregator
         self.state: Dict[str, Any] = strategy.server_init(self.weights, config)
         self.round_idx = 0
         self.skipped_rounds = 0
+        # Per-round report, reset at the top of every aggregation attempt
+        # and read by the engines' _phase_record: which clients the
+        # finite-check dropped, which the robust rule screened, and whether
+        # the round was skipped outright.
+        self.last_dropped: List[int] = []
+        self.last_screened: List[int] = []
+        self.last_skipped = False
 
     @property
     def weights(self) -> List[np.ndarray]:
@@ -75,15 +100,23 @@ class Server:
             return bool(np.isfinite(flat).all())
         return all(np.isfinite(w).all() for w in update.weights)
 
+    def reset_report(self) -> None:
+        """Clear the per-round report fields before an aggregation attempt."""
+        self.last_dropped = []
+        self.last_screened = []
+        self.last_skipped = False
+
     def partition_finite(self, updates: Sequence[ClientUpdate]) -> List[ClientUpdate]:
         """The non-finite drop policy, shared by every aggregation path
         (synchronous rounds and the async engine's mixing): return the
-        healthy updates, logging any dropped client ids.  Each update's
-        verdict is computed exactly once."""
+        healthy updates, recording dropped client ids on
+        :attr:`last_dropped` (surfaced in the round's History record) and
+        logging them.  Each update's verdict is computed exactly once."""
         verdicts = [self._finite(u) for u in updates]
         healthy = [u for u, ok in zip(updates, verdicts) if ok]
         if len(healthy) < len(updates):
             bad = sorted(u.client_id for u, ok in zip(updates, verdicts) if not ok)
+            self.last_dropped.extend(bad)
             _log.warning("round %d: dropping %d non-finite client update(s): %s",
                          self.round_idx, len(updates) - len(healthy), bad)
         return healthy
@@ -94,6 +127,7 @@ class Server:
         _log.error("round %d: every client update was non-finite; "
                    "keeping previous global model", self.round_idx)
         self.skipped_rounds += 1
+        self.last_skipped = True
         self.round_idx += 1
 
     def apply_updates(self, updates: Sequence[ClientUpdate]) -> None:
@@ -105,16 +139,37 @@ class Server:
         skipped entirely (the global model is kept), mirroring production
         FL servers that abandon a failed round rather than crash the job;
         :attr:`skipped_rounds` counts these events.
+
+        With a robust :class:`~repro.fl.robust.aggregators.RobustAggregator`
+        attached, the strategy's ``aggregate`` hook is replaced by the
+        robust reduction over the stacked ``(K, P)`` matrix; clients the
+        rule screens out are recorded on :attr:`last_screened` and excluded
+        from the ``post_aggregate`` hook's update list.
         """
         if not updates:
             raise ValueError("cannot aggregate an empty update set")
+        self.reset_report()
         healthy = self.partition_finite(updates)
         if not healthy:
             self.skip_round()
             return
         old = self.weights
-        new = self.strategy.aggregate(healthy, old, self.state, self.config)
-        new = self.strategy.post_aggregate(new, old, healthy, self.state, self.config)
+        if self.aggregator is not None:
+            flat = self.plane.flat
+            new, screened = robust_aggregate(
+                self.aggregator, healthy, old, global_flat=flat
+            )
+            if screened:
+                self.last_screened = screened
+                _log.info("round %d: %s screened client(s): %s",
+                          self.round_idx, self.aggregator.name, screened)
+                accepted = [u for u in healthy if u.client_id not in set(screened)]
+            else:
+                accepted = healthy
+            new = self.strategy.post_aggregate(new, old, accepted, self.state, self.config)
+        else:
+            new = self.strategy.aggregate(healthy, old, self.state, self.config)
+            new = self.strategy.post_aggregate(new, old, healthy, self.state, self.config)
         # One in-place write of the flat buffer; the views every consumer
         # holds update with it.  (``new`` never partially aliases the plane:
         # strategies return either fresh arrays or the plane's own views,

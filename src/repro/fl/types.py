@@ -159,6 +159,17 @@ class RoundRecord:
     between each update's dispatch and its arrival; always all-zero in the
     synchronous mode, and the quantity the async modes' decayed mixing and
     FedTrip's xi consume.
+
+    Aggregation-health fields: ``dropped_clients`` are the ids the server's
+    finite-check shed this round (previously log-only, so a run summary
+    could not tell a clean run from one that silently lost clients);
+    ``round_skipped`` marks a round where *every* update was bad and the
+    global model was kept.  With the robust subsystem active,
+    ``screened_clients`` are the ids the robust aggregation rule excluded
+    and ``adversary_clients`` labels which of this round's participants sat
+    on the adversary roster (``None`` when no adversary is attached —
+    distinct from "an adversary attacked but none were sampled", which is
+    ``[]``).
     """
 
     round_idx: int
@@ -171,6 +182,10 @@ class RoundRecord:
     wall_seconds: float
     virtual_time_s: Optional[float] = None
     update_staleness: Optional[List[int]] = None
+    dropped_clients: List[int] = field(default_factory=list)
+    screened_clients: List[int] = field(default_factory=list)
+    adversary_clients: Optional[List[int]] = None
+    round_skipped: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -187,4 +202,11 @@ class RoundRecord:
                 list(self.update_staleness)
                 if self.update_staleness is not None else None
             ),
+            "dropped_clients": list(self.dropped_clients),
+            "screened_clients": list(self.screened_clients),
+            "adversary_clients": (
+                list(self.adversary_clients)
+                if self.adversary_clients is not None else None
+            ),
+            "round_skipped": self.round_skipped,
         }

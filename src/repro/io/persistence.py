@@ -55,6 +55,11 @@ def load_history(path: str) -> History:
                 # Virtual-clock fields postdate the format; old files omit them.
                 virtual_time_s=rec.get("virtual_time_s"),
                 update_staleness=rec.get("update_staleness"),
+                # Aggregation-health fields postdate the format too.
+                dropped_clients=list(rec.get("dropped_clients", [])),
+                screened_clients=list(rec.get("screened_clients", [])),
+                adversary_clients=rec.get("adversary_clients"),
+                round_skipped=bool(rec.get("round_skipped", False)),
             )
         )
     return hist

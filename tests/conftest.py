@@ -31,6 +31,17 @@ def pytest_addoption(parser):
         choices=["wifi", "4g", "iot"],
         help="device/network preset for the mode-sensitive smoke tests",
     )
+    parser.addoption(
+        "--aggregator",
+        default="mean",
+        choices=[
+            "mean", "coordinate_median", "trimmed_mean", "norm_clip",
+            "norm_screen", "krum", "multi_krum",
+        ],
+        help="server aggregation rule the aggregation-sensitive smoke tests "
+             "run with (CI runs the suite once more with "
+             "--aggregator trimmed_mean)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -49,6 +60,12 @@ def mode_name(request):
 def device_profile_name(request):
     """The preset selected with ``--device-profile`` (default: None)."""
     return request.config.getoption("--device-profile")
+
+
+@pytest.fixture(scope="session")
+def aggregator_name(request):
+    """The aggregation rule selected with ``--aggregator`` (default: mean)."""
+    return request.config.getoption("--aggregator")
 
 
 @pytest.fixture

@@ -139,14 +139,17 @@ class TestDeterminismAcrossBackends:
             engine.close()
         assert all(state for state in states), "client state lost across processes"
 
-    def test_end_to_end_smoke_on_selected_backend(self, executor_name):
-        """The backend chosen with ``pytest --executor`` trains end to end.
+    def test_end_to_end_smoke_on_selected_backend(self, executor_name, aggregator_name):
+        """The backend chosen with ``pytest --executor`` trains end to end,
+        under the aggregation rule chosen with ``pytest --aggregator``.
 
-        CI re-runs the tier-1 suite once with ``--executor process`` so the
-        pooled path sees the full smoke regularly.
+        CI re-runs the tier-1 suite once with ``--executor process`` and
+        once with ``--aggregator trimmed_mean`` so the pooled path and the
+        robust-aggregation path both see the full smoke regularly.
         """
         n_workers = 1 if executor_name in ("auto", "serial") else 2
-        hist = run_experiment(tiny_spec(executor=executor_name, n_workers=n_workers))
+        hist = run_experiment(tiny_spec(executor=executor_name, n_workers=n_workers,
+                                        aggregator=aggregator_name))
         assert len(hist) == TINY["rounds"]
         assert np.isfinite(hist.accuracies()).all()
 

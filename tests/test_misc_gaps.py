@@ -99,7 +99,12 @@ class TestRoundRecordDict:
             "round", "selected", "test_accuracy", "test_loss",
             "mean_train_loss", "cumulative_flops", "cumulative_comm_bytes",
             "wall_seconds", "virtual_time_s", "update_staleness",
+            "dropped_clients", "screened_clients", "adversary_clients",
+            "round_skipped",
         }
         # Virtual-clock fields default to None so sync-without-profile
         # histories serialize exactly as before (modulo the new keys).
         assert d["virtual_time_s"] is None and d["update_staleness"] is None
+        # Aggregation-health fields default to empty/None/False likewise.
+        assert d["dropped_clients"] == [] and d["screened_clients"] == []
+        assert d["adversary_clients"] is None and d["round_skipped"] is False
