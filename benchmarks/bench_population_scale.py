@@ -1,0 +1,161 @@
+"""Population scale: throughput and memory must be flat in population size.
+
+The acceptance experiment for the population subsystem (virtual id space +
+O(K) rejection sampler + lazy client directory + streaming aggregation).
+One fixed workload — a 64-client cohort drawn from 64 mini_mnist shards —
+is run against virtual populations from 10^3 to 10^6 ids.  Per-round work
+is a function of the *cohort*, so both measured quantities must not move
+as the population grows three orders of magnitude:
+
+* **rounds/sec** — an O(N) term anywhere in the loop (an eager roster
+  walk, a permutation-based sampler, per-id state init) shows up here
+  immediately: 10^6 vs 10^3 is a 1000x amplifier.
+* **peak RSS** — an eager roster at 10^6 ids would need ~P x N x 4 bytes
+  ~ 26 GiB of client state alone; the lazy directory materializes only
+  the touched cohort.
+
+Every cell runs in its own subprocess: ``getrusage`` reports a
+process-lifetime high-water mark, so cells sharing a process would see
+each other's peaks (and the first cell's warmed caches).
+
+The headline criterion mirrors the ISSUE: from the smallest to the
+largest population, rounds/sec may degrade at most 10% and peak RSS may
+grow at most 10%.
+
+Output: ``benchmarks/out/population_scale.json`` plus (on a repo
+checkout) the root ``BENCH_population.json`` artifact consumed by CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from harness import print_table, save_json  # noqa: E402
+
+COHORT = 64
+ROUNDS = 20
+#: max tolerated movement from the smallest to the largest population
+TOLERANCE = 0.10
+
+WORKLOAD = dict(
+    dataset="mini_mnist", model="mlp", method="fedavg", partition="iid",
+    n_clients=COHORT, clients_per_round=COHORT,
+    samples_per_client=20, batch_size=20, lr=0.05, seed=0,
+)
+
+POPULATIONS = (10**3, 10**4, 10**5, 10**6)
+
+#: one benchmark cell, run via ``python -c`` in a fresh process.  Training
+#: time excludes the dataset build (identical across cells by construction);
+#: RSS includes everything the process ever touched.
+_CELL_SCRIPT = """\
+import json, resource, sys, time
+from repro.api import ExperimentSpec, run_experiment
+workload = json.loads(sys.argv[1])
+spec = ExperimentSpec(**workload, population_size=int(sys.argv[2]),
+                      rounds=int(sys.argv[3]))
+data = spec.build_data()
+t0 = time.perf_counter()
+history = run_experiment(spec, data=data)
+elapsed = time.perf_counter() - t0
+selected = sorted({c for r in history.records for c in r.selected})
+print(json.dumps({
+    "rounds_per_sec": len(history.records) / elapsed,
+    "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "final_accuracy": history.records[-1].test_accuracy,
+    "max_selected_id": selected[-1],
+}))
+"""
+
+
+def _measure_cell(population: int, rounds: int) -> dict:
+    out = subprocess.run(
+        [sys.executable, "-c", _CELL_SCRIPT,
+         json.dumps(WORKLOAD), str(population), str(rounds)],
+        capture_output=True, text=True, check=True,
+        env={**os.environ,
+             "PYTHONPATH": os.pathsep.join(filter(None, [
+                 os.path.join(os.path.dirname(__file__), "..", "src"),
+                 os.environ.get("PYTHONPATH")]))},
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def _run(rounds: int = ROUNDS, populations=POPULATIONS):
+    cells = {}
+    for population in populations:
+        cell = _measure_cell(population, rounds)
+        # the sampler really used the virtual space (not just the shards)
+        assert cell["max_selected_id"] >= COHORT, (
+            f"population {population}: no virtual id beyond the shard count "
+            "was ever selected — the population sampler is not in the loop")
+        cells[str(population)] = cell
+
+    smallest = cells[str(min(populations))]
+    largest = cells[str(max(populations))]
+    rps_ratio = largest["rounds_per_sec"] / smallest["rounds_per_sec"]
+    rss_ratio = largest["peak_rss_kb"] / smallest["peak_rss_kb"]
+
+    payload = {
+        "workload": {**WORKLOAD, "rounds": rounds},
+        "populations": list(populations),
+        "cells": cells,
+        "criterion": {
+            "tolerance": TOLERANCE,
+            "rounds_per_sec_ratio_largest_vs_smallest": round(rps_ratio, 4),
+            "peak_rss_ratio_largest_vs_smallest": round(rss_ratio, 4),
+        },
+    }
+    save_json("population_scale", payload)
+
+    root = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+    if os.path.isfile(os.path.join(root, "ROADMAP.md")):
+        with open(os.path.join(root, "BENCH_population.json"), "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+
+    print_table(
+        f"population scale (cohort {COHORT}, {rounds} rounds, "
+        f"tolerance {TOLERANCE:.0%})",
+        ["population", "rounds/sec", "peak RSS MiB", "final %"],
+        [[f"{int(p):.0e}".replace("e+0", "e"),
+          f"{c['rounds_per_sec']:.2f}",
+          f"{c['peak_rss_kb'] / 1024:.1f}",
+          f"{c['final_accuracy']:.2f}"]
+         for p, c in cells.items()],
+    )
+
+    assert rps_ratio >= 1.0 - TOLERANCE, (
+        f"rounds/sec degraded {1 - rps_ratio:.1%} from population "
+        f"{min(populations):g} to {max(populations):g} (tolerance "
+        f"{TOLERANCE:.0%}) — something in the round loop is O(population)")
+    assert rss_ratio <= 1.0 + TOLERANCE, (
+        f"peak RSS grew {rss_ratio - 1:.1%} from population "
+        f"{min(populations):g} to {max(populations):g} (tolerance "
+        f"{TOLERANCE:.0%}) — client or state memory is O(population)")
+    return payload
+
+
+def test_population_scale(benchmark):
+    from conftest import run_once
+
+    run_once(benchmark, lambda: _run(rounds=10,
+                                     populations=(10**3, 10**6)))
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="measure the two extreme populations only with "
+                             "a shorter round budget")
+    args = parser.parse_args()
+    if args.quick:
+        _run(rounds=10, populations=(10**3, 10**6))
+    else:
+        _run()

@@ -47,6 +47,8 @@ from repro.fl.executor import (
     make_optimizer,
 )
 from repro.fl.history import History
+from repro.fl.params import reset_default_pool
+from repro.fl.population import ClientDirectory, FlatStateArena, PopulationSampler
 from repro.fl.process_executor import ProcessWorkerSpec
 from repro.fl.sampling import UniformSampler
 from repro.fl.server import Server
@@ -121,6 +123,26 @@ class Engine:
         Optional :class:`~repro.fl.robust.adversaries.Adversary`: poisons
         roster clients' datasets at construction and corrupts their uploads
         inside the executor path (built from ``ExperimentSpec.adversary``).
+    population:
+        Optional :class:`~repro.fl.population.Population`: replaces the
+        eager client list with a lazy :class:`ClientDirectory` over a
+        virtual id space (id -> data shard ``id % n_shards``), and the
+        default sampler with the O(K) :class:`PopulationSampler`.  Memory
+        and startup cost become O(touched clients) instead of
+        O(population).  Does not compose with adversaries or per-client
+        system models (both enumerate the fleet per id).
+    agg_block_size:
+        Optional streaming aggregation block size: the server stages at
+        most this many client rows at a time while folding the weighted
+        mean (peak O(block x P) instead of O(K x P)), byte-identical to
+        dense aggregation for every block size.  Rejected at construction
+        when combined with a robust rule that needs the full stacked
+        matrix (``requires_full_matrix``).
+    state_mmap_mb:
+        Heap budget (MiB) for lazily-created per-client flat strategy
+        state before the directory's arena spills new state to mmap'd
+        temp files; ``None`` keeps everything on the heap.  Requires
+        ``population``.
     """
 
     def __init__(
@@ -138,6 +160,9 @@ class Engine:
         callbacks: Iterable[Callback] = (),
         aggregator=None,
         adversary=None,
+        population=None,
+        agg_block_size: Optional[int] = None,
+        state_mmap_mb: Optional[int] = None,
     ) -> None:
         if config.n_clients != data.n_clients:
             raise ValueError(
@@ -150,6 +175,27 @@ class Engine:
                 f"system model covers {len(system_model.profiles)} clients, "
                 f"config has {config.n_clients}"
             )
+        if population is not None:
+            # The virtual roster is keyed by population ids; subsystems that
+            # enumerate the fleet per-id (adversary rosters, per-client
+            # device profiles) would force it eager, defeating the point.
+            if adversary is not None:
+                raise ValueError(
+                    "population mode does not compose with adversaries: the "
+                    "roster would have to be drawn over the whole population"
+                )
+            if system_model is not None:
+                raise ValueError(
+                    "population mode does not compose with per-client system "
+                    "models (profiles are enumerated per client id)"
+                )
+            if population.n_shards != data.n_clients:
+                raise ValueError(
+                    f"population maps onto {population.n_shards} shards but "
+                    f"data has {data.n_clients}"
+                )
+        if state_mmap_mb is not None and population is None:
+            raise ValueError("state_mmap_mb only applies with a population")
         self.data = data
         self.strategy = strategy
         self.config = config
@@ -173,23 +219,46 @@ class Engine:
         self._model_fn = model_fn
         canonical = model_fn()
         self.profile = profile_model(canonical)
-        self.server = Server(canonical.get_weights(), strategy, config, aggregator=aggregator)
+        self.server = Server(canonical.get_weights(), strategy, config,
+                             aggregator=aggregator, agg_block_size=agg_block_size)
         self.adversary = adversary
         if adversary is not None and adversary.n_clients != config.n_clients:
             raise ValueError(
                 f"adversary roster was drawn over {adversary.n_clients} clients, "
                 f"config has {config.n_clients}"
             )
-        self.clients: List[Client] = [
-            Client(k, data.client_dataset(k), seed=config.seed) for k in range(data.n_clients)
-        ]
-        if adversary is not None:
-            adversary.poison_clients(self.clients, data.spec.num_classes)
-        for c in self.clients:
-            c.state = strategy.init_client_state(c.id)
-        self.sampler = sampler if sampler is not None else UniformSampler(
-            config.n_clients, config.clients_per_round, seed=config.seed
-        )
+        self.population = population
+        self._state_mmap_mb = state_mmap_mb
+        if population is not None:
+            # Lazy roster: clients (and their strategy state) materialize on
+            # first touch; nothing here is O(population).  Flat state interns
+            # into a heap-then-mmap arena sized by state_mmap_mb.
+            self.clients = ClientDirectory(
+                population, data, seed=config.seed,
+                state_factory=strategy.init_client_state,
+                arena=FlatStateArena(
+                    threshold_bytes=None if state_mmap_mb is None
+                    else int(state_mmap_mb) << 20),
+            )
+        else:
+            self.clients: List[Client] = [
+                Client(k, data.client_dataset(k), seed=config.seed)
+                for k in range(data.n_clients)
+            ]
+            if adversary is not None:
+                adversary.poison_clients(self.clients, data.spec.num_classes)
+            for c in self.clients:
+                c.state = strategy.init_client_state(c.id)
+        if sampler is not None:
+            self.sampler = sampler
+        elif population is not None:
+            self.sampler = PopulationSampler(
+                population, config.clients_per_round, seed=config.seed
+            )
+        else:
+            self.sampler = UniformSampler(
+                config.n_clients, config.clients_per_round, seed=config.seed
+            )
         opt_name = strategy.local_optimizer or config.optimizer
         self._opt_name = opt_name
 
@@ -275,6 +344,7 @@ class Engine:
             opt_name=self._opt_name,
             fp_flops=float(self.profile.forward_flops),
             adversary=self.adversary,
+            population=self.population,
         )
 
     # ------------------------------------------------------------------
@@ -348,10 +418,20 @@ class Engine:
         for result in self.executor.run(tasks):
             # Pooled backends trained on a copy of the client state; adopt
             # the returned dict so strategy state survives the round trip.
-            self.clients[result.update.client_id].state = result.state
+            self._adopt_state(result.update.client_id, result.state)
             updates.append(result.update)
             self._fire("on_client_update", round_idx, result.update)
         return updates
+
+    def _adopt_state(self, client_id: int, state: Dict) -> None:
+        """Land a post-round client state dict.  The lazy directory routes
+        it through its arena (stable per-key slots); the eager list simply
+        rebinds — both end with byte-equal state values."""
+        adopt = getattr(self.clients, "adopt_state", None)
+        if adopt is not None:
+            adopt(client_id, state)
+        else:
+            self.clients[client_id].state = state
 
     def _phase_aggregate(self, round_idx: int, updates: List[ClientUpdate]) -> None:
         """Phase 5: observers see (updates, pre-aggregation weights), then
@@ -488,6 +568,14 @@ class Engine:
 
     def close(self) -> None:
         self.executor.close()
+        # Release per-experiment scratch: pooled (K, P) matrices would
+        # otherwise outlive the experiment on this thread (the shape-keyed
+        # pool never shrinks on its own), and a lazy roster's state arena
+        # holds mmap chunks open.
+        reset_default_pool()
+        directory_close = getattr(self.clients, "close", None)
+        if directory_close is not None:
+            directory_close()
 
 
 def run_experiment(

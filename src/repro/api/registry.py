@@ -269,6 +269,9 @@ def _sync_mode(spec, data, callbacks):
         callbacks=callbacks,
         aggregator=spec.build_aggregator(),
         adversary=spec.build_adversary(),
+        population=spec.build_population(),
+        agg_block_size=spec.agg_block_size,
+        state_mmap_mb=spec.state_mmap_mb,
     )
 
 
@@ -296,6 +299,7 @@ def _event_driven_mode(spec, data, callbacks, mode: str):
         callbacks=callbacks,
         aggregator=spec.build_aggregator(),
         adversary=spec.build_adversary(),
+        agg_block_size=spec.agg_block_size,
     )
 
 

@@ -125,6 +125,25 @@ class ExperimentSpec:
     adversary_fraction: float = 0.0
     #: attack-specific arguments, e.g. {"gamma": 5.0} or {"sigma": 0.5}.
     adversary_kwargs: Pairs = ()
+    # -- population scale (repro.fl.population) ------------------------------
+    #: virtual fleet size; None = the eager roster (one Client per data
+    #: shard).  When set, client ids live in [0, population_size) and map
+    #: onto the n_clients data shards (id % n_clients); clients materialize
+    #: lazily on first sampling, the default sampler becomes the O(K)
+    #: PopulationSampler, and memory is O(touched clients).  Sync mode only;
+    #: does not compose with adversaries or device profiles (both enumerate
+    #: the fleet per client id).
+    population_size: Optional[int] = None
+    #: streaming aggregation block size: the server stages at most this many
+    #: client rows while folding the weighted mean (peak O(block x P)
+    #: instead of O(K x P)); byte-identical to dense aggregation for every
+    #: value.  None = dense.  Robust rules that need the full stacked matrix
+    #: (requires_full_matrix) reject this knob at build time.
+    agg_block_size: Optional[int] = None
+    #: heap budget (MiB) for lazily-created per-client flat strategy state
+    #: before the population directory spills new state to mmap'd temp
+    #: files; requires population_size.  None = heap only.
+    state_mmap_mb: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "overrides", _as_pairs(self.overrides, "overrides"))
@@ -177,6 +196,41 @@ class ExperimentSpec:
                 "adversary_kwargs without an adversary do nothing; "
                 "set adversary= to an attack model"
             )
+        if self.agg_block_size is not None and self.agg_block_size < 1:
+            raise ValueError(
+                f"agg_block_size must be >= 1, got {self.agg_block_size}"
+            )
+        if self.state_mmap_mb is not None:
+            if self.state_mmap_mb < 0:
+                raise ValueError(
+                    f"state_mmap_mb must be >= 0, got {self.state_mmap_mb}"
+                )
+            if self.population_size is None:
+                raise ValueError(
+                    "state_mmap_mb budgets the population directory's state "
+                    "arena; set population_size"
+                )
+        if self.population_size is not None:
+            if self.population_size < self.n_clients:
+                raise ValueError(
+                    f"population_size={self.population_size} smaller than the "
+                    f"{self.n_clients} data shards it maps onto"
+                )
+            if self.mode != "sync":
+                raise ValueError(
+                    "population mode runs synchronous rounds only; the "
+                    "event-driven modes enumerate per-client timings"
+                )
+            if self.adversary is not None:
+                raise ValueError(
+                    "population mode does not compose with adversaries: the "
+                    "roster would be drawn over the whole population"
+                )
+            if self.device_profile is not None:
+                raise ValueError(
+                    "population mode does not compose with device profiles "
+                    "(per-client system models enumerate the fleet)"
+                )
 
     # ------------------------------------------------------------------
     # axes / serialization
@@ -269,6 +323,20 @@ class ExperimentSpec:
         )
 
     def build_sampler(self):
+        """The client-selection policy, or ``None`` to let the engine pick
+        its default (uniform K-of-N; the O(K) population sampler when a
+        population is set — a ``UniformSampler`` over 10⁶ ids would pay an
+        O(N) permutation per round)."""
+        if self.population_size is not None:
+            if self.sampler == "uniform":
+                return None
+            return build_sampler(
+                self.sampler,
+                n_clients=self.population_size,
+                clients_per_round=self.clients_per_round,
+                seed=self.seed,
+                **dict(self.sampler_kwargs),
+            )
         return build_sampler(
             self.sampler,
             n_clients=self.n_clients,
@@ -276,6 +344,15 @@ class ExperimentSpec:
             seed=self.seed,
             **dict(self.sampler_kwargs),
         )
+
+    def build_population(self):
+        """The virtual :class:`~repro.fl.population.Population`, or ``None``
+        for the eager roster."""
+        if self.population_size is None:
+            return None
+        from repro.fl.population import Population
+
+        return Population(self.population_size, n_shards=self.n_clients)
 
     def build_aggregator(self):
         """The robust aggregation rule, or ``None`` for the default mean.

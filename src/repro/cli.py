@@ -107,6 +107,21 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
                    metavar="KEY=VALUE",
                    help="attack parameter, repeatable (e.g. gamma=5 for "
                         "sign_flip/scale, sigma=0.5 for gauss_noise)")
+    p.add_argument("--population-size", type=int, default=None,
+                   dest="population_size",
+                   help="virtual fleet size: client ids in [0, N) map onto "
+                        "the --clients data shards and materialize lazily "
+                        "(memory stays O(cohort), not O(N))")
+    p.add_argument("--agg-block-size", type=int, default=None,
+                   dest="agg_block_size",
+                   help="stream aggregation in blocks of this many client "
+                        "rows (peak O(block x P) instead of O(K x P)); "
+                        "byte-identical to dense for any value")
+    p.add_argument("--state-mmap-mb", type=int, default=None,
+                   dest="state_mmap_mb",
+                   help="heap budget (MiB) for lazy per-client strategy "
+                        "state before spilling to mmap'd temp files "
+                        "(requires --population-size)")
 
 
 def _parse_value(text: str) -> Any:
@@ -159,6 +174,9 @@ def _spec_from_args(args, method: Optional[str] = None,
         adversary=args.adversary,
         adversary_fraction=args.adversary_fraction,
         adversary_kwargs=_parse_kv(args.adversary_arg),
+        population_size=getattr(args, "population_size", None),
+        agg_block_size=getattr(args, "agg_block_size", None),
+        state_mmap_mb=getattr(args, "state_mmap_mb", None),
     )
 
 

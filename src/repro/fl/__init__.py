@@ -2,10 +2,26 @@
 
 from repro.fl.types import FLConfig, ClientUpdate, RoundRecord
 from repro.fl.history import History
-from repro.fl.params import MatrixPool, ParamPlane, WeightLayout, as_flat, stack_updates
+from repro.fl.params import (
+    MatrixPool,
+    ParamPlane,
+    WeightLayout,
+    as_flat,
+    reset_default_pool,
+    stack_updates,
+)
 from repro.fl.sampling import UniformSampler, WeightedSampler, FixedSampler
+from repro.fl.population import (
+    ClientDirectory,
+    FlatStateArena,
+    Population,
+    PopulationSampler,
+)
 from repro.fl.aggregation import (
+    aggregation_block,
     fedavg_aggregate,
+    get_aggregation_block_size,
+    set_default_aggregation_block_size,
     uniform_aggregate,
     weighted_average_flat,
     weighted_average_trees,
@@ -64,7 +80,15 @@ __all__ = [
     "ParamPlane",
     "WeightLayout",
     "as_flat",
+    "reset_default_pool",
     "stack_updates",
+    "ClientDirectory",
+    "FlatStateArena",
+    "Population",
+    "PopulationSampler",
+    "aggregation_block",
+    "get_aggregation_block_size",
+    "set_default_aggregation_block_size",
     "fedavg_aggregate",
     "uniform_aggregate",
     "weighted_average_flat",

@@ -4,50 +4,150 @@ The weighted average (Eq. 2) is the server's arithmetic hot path: every
 round it reduces K client models of P parameters each.  The historical
 implementation was a Python loop — K x L ``acc += w_k * arr`` axpys — whose
 interpreter overhead dominates once models are small relative to the cohort
-(exactly the paper's resource-efficiency regime).  The flat path stacks the
-K client vectors into one ``(K, P)`` float64 matrix (reused across rounds,
-see :class:`~repro.fl.params.MatrixPool`) and reduces it with a single
-``w @ M`` GEMM.
+(exactly the paper's resource-efficiency regime).  The flat path stages
+client vectors into a pooled float64 matrix (see
+:class:`~repro.fl.params.MatrixPool`) and reduces them into one running
+``(P,)`` accumulator.
+
+Streaming and the pinned reduction order
+----------------------------------------
+
+The reduction is a *row-sequential left fold*: rows are staged in cohort
+order and folded one at a time (``acc += w_k * row_k``), never via a
+single BLAS GEMM/GEMV.  BLAS is free to reorder a K-way sum, so a GEMM
+result would depend on how many rows it sees at once — the fold makes the
+float64 bit pattern a function of the row *sequence* only.  That buys the
+streaming property for free: staging ``block_size`` rows at a time and
+folding each block in order produces byte-identical output for *every*
+block size (1, 3, K, K + 7, ...), because the per-row operation sequence
+is unchanged.  Peak staging memory is ``O(block_size x P)`` instead of
+``O(K x P)``, which is what lets a cohort stream out of a million-client
+:class:`~repro.fl.population.Population` without materializing a dense
+matrix.
+
+The effective block size resolves in priority order: the explicit
+``block_size`` argument, the innermost :func:`aggregation_block` context
+(thread-local, used by :class:`~repro.fl.server.Server`), the module
+default set by :func:`set_default_aggregation_block_size` (the conftest
+``--agg-block-size`` hook), and finally ``None`` — dense staging of all K
+rows, the historical behaviour.
 
 ``weighted_average_trees`` keeps its list-of-arrays signature — every
 strategy's ``aggregate`` continues to work unchanged — and dispatches to
-the GEMM path whenever the tree has one dtype.  The loop implementation
+the staged fold whenever the tree has one dtype.  The loop implementation
 survives as :func:`weighted_average_trees_loop`: it is the reference the
 equivalence tests and ``benchmarks/bench_hot_path.py`` compare against.
 
 Numerics: both paths accumulate in float64 and cast back to the tree dtype
-once; they agree to float64 rounding (BLAS may order the K-way reduction
-differently than the sequential loop).  Determinism holds because every
-executor and server mode shares this single code path.
+once.  Rows are upcast to float64 *before* the scalar multiply (staging
+buffer), matching what dense stacking always did — multiplying a float32
+row by a float64 scalar directly would compute in single precision under
+value-based casting.  Determinism holds because every executor and server
+mode shares this single code path.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import threading
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from repro.fl.params import stack_updates
+from repro.fl.params import MatrixPool, _default_pool
 from repro.fl.types import ClientUpdate
 
 __all__ = [
+    "aggregation_block",
     "fedavg_aggregate",
+    "get_aggregation_block_size",
+    "set_default_aggregation_block_size",
     "uniform_aggregate",
     "weighted_average_flat",
     "weighted_average_trees",
     "weighted_average_trees_loop",
 ]
 
+#: module-wide default block size (``None`` = dense).  Set once per process
+#: (e.g. by the conftest ``--agg-block-size`` option); per-experiment values
+#: travel through the thread-local :func:`aggregation_block` context instead.
+_DEFAULT_BLOCK: Optional[int] = None
+
+_BLOCK_LOCAL = threading.local()
+
+
+def _validated_block(block_size: Optional[int]) -> Optional[int]:
+    if block_size is None:
+        return None
+    b = int(block_size)
+    if b < 1:
+        raise ValueError(f"aggregation block size must be >= 1, got {block_size}")
+    return b
+
+
+def set_default_aggregation_block_size(block_size: Optional[int]) -> Optional[int]:
+    """Set the process-wide default aggregation block size; returns the
+    previous value.  ``None`` restores dense (all-K) staging."""
+    global _DEFAULT_BLOCK
+    previous = _DEFAULT_BLOCK
+    _DEFAULT_BLOCK = _validated_block(block_size)
+    return previous
+
+
+def get_aggregation_block_size() -> Optional[int]:
+    """The block size aggregation would use right now on this thread
+    (innermost :func:`aggregation_block` context, else the module default),
+    or ``None`` for dense staging."""
+    stack = getattr(_BLOCK_LOCAL, "stack", None)
+    if stack:
+        return stack[-1]
+    return _DEFAULT_BLOCK
+
+
+@contextmanager
+def aggregation_block(block_size: Optional[int]) -> Iterator[None]:
+    """Thread-locally pin the aggregation block size for the enclosed code.
+
+    ``None`` is transparent — the surrounding context (or module default)
+    stays in effect — so callers can pass an optional knob straight through
+    without branching.
+    """
+    if block_size is None:
+        yield
+        return
+    b = _validated_block(block_size)
+    stack = getattr(_BLOCK_LOCAL, "stack", None)
+    if stack is None:
+        stack = _BLOCK_LOCAL.stack = []
+    stack.append(b)
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+def _resolve_block(block_size: Optional[int], k: int) -> int:
+    """Effective staging width for a K-row reduction: the explicit argument,
+    else the context/module default, else dense; always clamped to
+    ``[1, K]`` (a block larger than the cohort is just dense)."""
+    b = _validated_block(block_size)
+    if b is None:
+        b = get_aggregation_block_size()
+    if b is None:
+        return k
+    return min(b, k)
+
 
 def _normalized(weights: Sequence[float], n: int) -> np.ndarray:
     """Validate and sum-normalize aggregation weights.
 
-    Shared by the GEMM path and the tree-loop fallback, so both raise the
-    same, specific error: non-finite weights, negative weights, and an
-    all-zero sum (e.g. every client reported zero samples) each get their
-    own message instead of a silent divide producing NaN weights.  ``n = 1``
-    degenerates to the single weight normalizing to exactly 1.0, so a K=1
-    "average" returns that update's values unchanged (pinned by tests).
+    Shared by the staged-fold path and the tree-loop fallback, so both
+    raise the same, specific error: non-finite weights, negative weights,
+    and an all-zero sum (e.g. every client reported zero samples) each get
+    their own message instead of a silent divide producing NaN weights.
+    ``n = 1`` degenerates to the single weight normalizing to exactly 1.0,
+    so a K=1 "average" returns that update's values unchanged (pinned by
+    tests).
     """
     w = np.asarray(weights, dtype=np.float64)
     if w.size != n:
@@ -65,13 +165,34 @@ def _normalized(weights: Sequence[float], n: int) -> np.ndarray:
     return w / total
 
 
+def _fold_rows(rows: np.ndarray, w: np.ndarray, acc: np.ndarray, scratch: np.ndarray) -> None:
+    """``acc += sum_k w[k] * rows[k]``, folded strictly row-by-row.
+
+    This is *the* pinned reduction order: every aggregation entry point
+    funnels K float64 rows through this loop in cohort order, so the
+    result is bitwise independent of how the rows were batched upstream.
+    """
+    for k in range(rows.shape[0]):
+        np.multiply(rows[k], w[k], out=scratch)
+        acc += scratch
+
+
 def weighted_average_flat(mat: np.ndarray, weights: Sequence[float]) -> np.ndarray:
-    """Weighted mean of K stacked flat vectors: one ``w @ M`` GEMM.
+    """Weighted mean of K stacked flat vectors via the pinned row fold.
 
     ``mat`` is ``(K, P)``; returns the ``(P,)`` float64 combination with
-    ``weights`` normalized to sum 1.
+    ``weights`` normalized to sum 1.  Byte-identical to the streaming path
+    in :func:`weighted_average_trees` for the same rows — both fold
+    float64 rows sequentially in row order.
     """
-    return _normalized(weights, mat.shape[0]) @ mat
+    mat = np.asarray(mat)
+    w = _normalized(weights, mat.shape[0])
+    if mat.dtype != np.float64:
+        mat = mat.astype(np.float64)
+    acc = np.zeros(mat.shape[1], dtype=np.float64)
+    scratch = np.empty(mat.shape[1], dtype=np.float64)
+    _fold_rows(mat, w, acc, scratch)
+    return acc
 
 
 def _check_structure(
@@ -95,16 +216,66 @@ def _check_structure(
             raise ValueError("tree structure mismatch")
 
 
+def _streamed_weighted_sum(
+    trees: Sequence[Sequence[np.ndarray]],
+    flats: Optional[Sequence[Optional[np.ndarray]]],
+    w: np.ndarray,
+    block_size: Optional[int],
+    pool: Optional[MatrixPool] = None,
+) -> np.ndarray:
+    """Fold K client trees into one ``(P,)`` float64 vector, staging at most
+    ``block`` rows of scratch at a time.
+
+    The fold multiplies each row straight out of its cached flat vector when
+    one is available — ``dtype=float64`` pins the double-precision ufunc
+    loop, which upcasts a float32 row element-wise exactly as a staging
+    copy would, minus the extra memory pass.  Only rows *without* a cached
+    flat are staged (``flatten_into`` needs a float64 destination), and the
+    pooled staging buffer is at most ``block`` rows, reused cyclically.
+    Dense (``block == K``) and every smaller block produce the same bits:
+    the per-row multiply/add sequence never depends on the block
+    (see :func:`_fold_rows` for the pinned-order contract).
+    """
+    from repro.fl.params import flatten_into
+
+    k = len(trees)
+    sizes = [int(np.asarray(a).size) for a in trees[0]]
+    p = sum(sizes)
+    block = _resolve_block(block_size, k)
+    stage = None  # allocated lazily: all-flat cohorts never touch the pool
+    acc = np.zeros(p, dtype=np.float64)
+    scratch = np.empty(p, dtype=np.float64)
+    for i in range(k):
+        flat = flats[i] if flats is not None else None
+        if flat is not None and flat.size == p:
+            src = flat
+        else:
+            if len(trees[i]) != len(sizes):
+                raise ValueError("tree structure mismatch")
+            if stage is None:
+                pool = pool if pool is not None else _default_pool()
+                stage = pool.take(block, p)
+            src = stage[i % block]
+            flatten_into(src, trees[i])
+        np.multiply(src, w[i], out=scratch, dtype=np.float64)
+        acc += scratch
+    return acc
+
+
 def weighted_average_trees(
     trees: Sequence[Sequence[np.ndarray]],
     weights: Sequence[float],
     flats: Optional[Sequence[Optional[np.ndarray]]] = None,
+    block_size: Optional[int] = None,
 ) -> List[np.ndarray]:
     """Weighted mean of parameter trees; weights are normalized to sum 1.
 
     ``flats`` optionally carries a precomputed flat vector per tree (the
-    :class:`~repro.fl.types.ClientUpdate` fast path) so stacking skips
-    re-flattening.  Mixed-dtype trees fall back to the per-layer loop.
+    :class:`~repro.fl.types.ClientUpdate` fast path) so staging skips
+    re-flattening.  ``block_size`` caps how many rows are staged at once
+    (``None`` defers to :func:`aggregation_block` / the module default);
+    the result is byte-identical for every block size.  Mixed-dtype trees
+    fall back to the per-layer loop.
     """
     if not trees:
         raise ValueError("no trees to aggregate")
@@ -114,8 +285,7 @@ def weighted_average_trees(
         return weighted_average_trees_loop(trees, weights)
     w = _normalized(weights, len(trees))
     _check_structure(trees, flats)
-    mat = stack_updates(trees, flats=flats)
-    flat = w @ mat
+    flat = _streamed_weighted_sum(trees, flats, w, block_size)
     dtype = next(iter(dtypes))
     out: List[np.ndarray] = []
     cursor = 0
@@ -131,7 +301,7 @@ def weighted_average_trees_loop(
 ) -> List[np.ndarray]:
     """Reference per-layer loop implementation (pre-GEMM server path).
 
-    Kept for the loop-vs-GEMM equivalence tests, as the baseline leg of
+    Kept for the loop-vs-fold equivalence tests, as the baseline leg of
     ``benchmarks/bench_hot_path.py``, and as the mixed-dtype fallback.
     """
     if not trees:

@@ -127,6 +127,7 @@ class AsyncFLEngine(Engine):
         callbacks: Iterable[Callback] = (),
         aggregator=None,
         adversary=None,
+        agg_block_size: Optional[int] = None,
     ) -> None:
         # All validation happens before super().__init__ builds the
         # executor — raising afterwards would leak a spawned worker pool.
@@ -184,6 +185,7 @@ class AsyncFLEngine(Engine):
             data, strategy, config, model_name=model_name, model_fn=model_fn,
             sampler=sampler, n_workers=n_workers, executor=executor,
             callbacks=callbacks, aggregator=aggregator, adversary=adversary,
+            agg_block_size=agg_block_size,
         )
         self.timing = timing
         self.mode = mode
@@ -252,7 +254,7 @@ class AsyncFLEngine(Engine):
         inflight: _InFlight = event.payload
         client_id = event.client_id
         self._busy.discard(client_id)
-        self.clients[client_id].state = inflight.result.state
+        self._adopt_state(client_id, inflight.result.state)
         self._fire("on_client_update", self.server.round_idx, inflight.result.update)
         self._buffer.append(
             _Arrival(

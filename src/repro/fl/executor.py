@@ -155,7 +155,11 @@ class TaskRuntime:
     per round from the broadcast segment.
     """
 
-    clients: List[Client]
+    #: client roster, indexed by client id.  Either the engine's eager list
+    #: or a lazy :class:`~repro.fl.population.ClientDirectory` (population
+    #: mode) — backends only ever do ``clients[client_id]``, which both
+    #: support (the directory materializes on first touch, thread-safely).
+    clients: Sequence[Client]
     strategy: Strategy
     config: FLConfig
     fp_flops: float

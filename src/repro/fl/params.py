@@ -46,6 +46,7 @@ __all__ = [
     "MatrixPool",
     "as_flat",
     "materialize_parameters",
+    "reset_default_pool",
     "stack_updates",
 ]
 
@@ -305,6 +306,21 @@ def _default_pool() -> MatrixPool:
     if pool is None:
         pool = _POOLS.pool = MatrixPool()
     return pool
+
+
+def reset_default_pool() -> None:
+    """Drop this thread's pooled scratch matrices.
+
+    The pool is keyed by ``(K, P)`` and capped at a few entries, so reuse
+    across *same-shape* experiments is safe (every row is overwritten
+    before the matrix is read) — but scratch from a finished experiment
+    would otherwise pin ``K x P`` float64 until another shape evicts it.
+    :meth:`repro.api.Engine.close` calls this so back-to-back experiments
+    with different models or cohort sizes don't accumulate dead buffers.
+    """
+    pool = getattr(_POOLS, "pool", None)
+    if pool is not None:
+        pool.clear()
 
 
 def as_flat(tree: Sequence[np.ndarray]) -> Optional[np.ndarray]:

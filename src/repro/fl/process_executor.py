@@ -51,6 +51,7 @@ from repro.fl.executor import (
 # WeightLayout's home is repro.fl.params since the flat-parameter refactor;
 # re-exported here for backward compatibility.
 from repro.fl.params import ParamPlane, WeightLayout
+from repro.fl.population import ClientDirectory, Population
 from repro.fl.robust.adversaries import Adversary
 from repro.fl.types import FLConfig
 from repro.models import build_model
@@ -78,6 +79,11 @@ class ProcessWorkerSpec:
     #: plain numbers and its roster tuple); workers re-apply its data
     #: poisoning to their locally rebuilt clients.
     adversary: Optional[Adversary] = None
+    #: optional virtual population — pure arithmetic (size, n_shards), so
+    #: pickling it is free; workers rebuild a lazy ClientDirectory over it
+    #: instead of an eager client list.  Client state still travels with
+    #: each task, so worker-side directories only serve shards and RNG.
+    population: Optional[Population] = None
     #: filled in by ProcessExecutor.__init__, never by the engine
     layout: Optional[WeightLayout] = None
     shm_name: str = ""
@@ -148,14 +154,22 @@ def _init_worker(spec: ProcessWorkerSpec) -> None:
         model, frozen, make_optimizer(spec.opt_name, model, spec.config),
         CrossEntropyLoss(),
     )
-    clients = [
-        Client(k, spec.data.client_dataset(k), seed=spec.config.seed)
-        for k in range(spec.data.n_clients)
-    ]
-    if spec.adversary is not None:
-        # Same data poisoning the engine applied to its own client list;
-        # deterministic, so both sides see identical shards.
-        spec.adversary.poison_clients(clients, data_spec.num_classes)
+    if spec.population is not None:
+        # Lazy roster in the worker too: only the clients this worker is
+        # actually handed tasks for ever materialize.  No state factory —
+        # strategy state arrives with each task and returns with its result.
+        clients = ClientDirectory(
+            spec.population, spec.data, seed=spec.config.seed
+        )
+    else:
+        clients = [
+            Client(k, spec.data.client_dataset(k), seed=spec.config.seed)
+            for k in range(spec.data.n_clients)
+        ]
+        if spec.adversary is not None:
+            # Same data poisoning the engine applied to its own client list;
+            # deterministic, so both sides see identical shards.
+            spec.adversary.poison_clients(clients, data_spec.num_classes)
     _RUNTIME = TaskRuntime(
         clients=clients,
         strategy=spec.strategy,

@@ -77,6 +77,17 @@ class RobustAggregator:
     #: registry name, e.g. "coordinate_median"
     name: str = "base"
 
+    #: Whether the rule needs all K rows at once.  Coordinate order
+    #: statistics (median, trimmed mean) and pairwise-distance selection
+    #: (Krum) have no streaming formulation, so they always stack the dense
+    #: ``(K, P)`` matrix regardless of any aggregation block size — an
+    #: ambient block default (the test suite's ``--agg-block-size``) is a
+    #: documented no-op for them, while an *explicit* per-experiment
+    #: ``agg_block_size`` combined with such a rule is rejected at
+    #: spec-build time (see :class:`repro.fl.server.Server`).  Rules that
+    #: reduce to a weighted mean set this False and stream.
+    requires_full_matrix: bool = True
+
     def reduce(
         self, mat: np.ndarray, weights: np.ndarray, global_flat: np.ndarray
     ) -> Tuple[np.ndarray, List[int]]:
@@ -95,11 +106,12 @@ class RobustAggregator:
 
 
 class MeanAggregator(RobustAggregator):
-    """The existing weighted-mean GEMM (Eq. 2) behind the registry name
-    ``"mean"`` — zero robustness, kept as the explicit baseline leg of the
-    accuracy-under-attack bench."""
+    """The existing weighted mean (Eq. 2, the pinned row fold) behind the
+    registry name ``"mean"`` — zero robustness, kept as the explicit
+    baseline leg of the accuracy-under-attack bench."""
 
     name = "mean"
+    requires_full_matrix = False
 
     def reduce(self, mat, weights, global_flat):
         return weighted_average_flat(mat, weights), list(range(mat.shape[0]))

@@ -42,6 +42,46 @@ def pytest_addoption(parser):
              "run with (CI runs the suite once more with "
              "--aggregator trimmed_mean)",
     )
+    parser.addoption(
+        "--agg-block-size",
+        type=int,
+        default=None,
+        help="run the whole suite with this streaming aggregation block "
+             "size as the process-wide default (CI reruns tier-1 with "
+             "--agg-block-size 3 to keep the chunked path continuously "
+             "exercised; results are byte-identical to dense, so every "
+             "test must still pass)",
+    )
+    parser.addoption(
+        "--run-tier2",
+        action="store_true",
+        default=False,
+        help="also run tests marked tier2 (slow resource-ceiling checks, "
+             "e.g. the population peak-RSS regression); skipped by default "
+             "so tier-1 stays fast",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "tier2: slow resource-ceiling regression tests, run with --run-tier2",
+    )
+    config.addinivalue_line("markers", "slow: long-running end-to-end test")
+    block = config.getoption("--agg-block-size")
+    if block is not None:
+        from repro.fl.aggregation import set_default_aggregation_block_size
+
+        set_default_aggregation_block_size(block)
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-tier2"):
+        return
+    skip = pytest.mark.skip(reason="tier-2 test; enable with --run-tier2")
+    for item in items:
+        if "tier2" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")
