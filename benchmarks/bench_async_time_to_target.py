@@ -91,8 +91,9 @@ def _determinism_check(data) -> bool:
     _, kwargs = MODES[1]
     a = run_experiment(_spec(kwargs), data=data)
     b = run_experiment(_spec(kwargs), data=data)
-    strip = lambda h: [  # noqa: E731 - wall_seconds is host time
-        {k: v for k, v in r.to_dict().items() if k != "wall_seconds"}
+    strip = lambda h: [  # noqa: E731 - wall/phase seconds are host time
+        {k: v for k, v in r.to_dict().items()
+         if k not in ("wall_seconds", "phase_seconds")}
         for r in h.records
     ]
     return strip(a) == strip(b)

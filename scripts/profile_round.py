@@ -13,14 +13,22 @@ Usage::
     PYTHONPATH=src python scripts/profile_round.py --clients 64 --rounds 5 \
         --sort tottime --top 40
     PYTHONPATH=src python scripts/profile_round.py --executor process --workers 2
+    PYTHONPATH=src python scripts/profile_round.py --mode semisync
+    PYTHONPATH=src python scripts/profile_round.py --aggregator trimmed_mean
     PYTHONPATH=src python scripts/profile_round.py --client
+
+The profiled engine always carries a live :mod:`repro.obs` recorder, so
+every run ends with a per-phase wall breakdown and the metric summary
+table sourced from the metrics registry — the same numbers ``--trace`` /
+``--metrics-out`` runs export.
 
 ``--client`` adds a breakdown of where *local-step* time goes — the
 client-side phases (forward, backward, attach ops, optimizer, clipping,
 broadcast adoption, upload) the plane-backed flat path accelerates — and
 restricts the raw listing to client-side code.
 
-See docs/performance.md for how to read the output.
+See docs/performance.md and docs/observability.md for how to read the
+output.
 """
 
 from __future__ import annotations
@@ -79,6 +87,23 @@ def _client_breakdown(stats: pstats.Stats, rounds: int) -> None:
         print(f"  {'client task total'.ljust(width)}  {task_total:8.4f}s")
 
 
+def _phase_breakdown(metrics, rounds: int) -> None:
+    """Per-phase wall seconds from the registry's labeled phase counters."""
+    phases = []
+    for name in metrics.names():
+        if name.startswith("fl_phase_seconds_total{"):
+            label = name.split('phase="', 1)[1].rstrip('"}')
+            phases.append((label, metrics.get(name).value))
+    if not phases:
+        return
+    total = sum(v for _, v in phases) or 1.0
+    print(f"\n--- engine phase breakdown ({rounds} profiled rounds, "
+          "from the metrics registry) ---")
+    width = max(len(label) for label, _ in phases)
+    for label, seconds in sorted(phases, key=lambda p: -p[1]):
+        print(f"  {label.ljust(width)}  {seconds:8.4f}s  {100.0 * seconds / total:5.1f}%")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--dataset", default="tiny")
@@ -93,30 +118,50 @@ def main() -> int:
     parser.add_argument("--executor", default="serial",
                         choices=["serial", "threaded", "process"])
     parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--mode", default="sync",
+                        choices=["sync", "semisync", "async"],
+                        help="server mode to profile (the event-driven "
+                             "modes run on the virtual-clock scheduler)")
+    parser.add_argument("--aggregator", default="mean",
+                        help="server aggregation rule (mean, or a robust "
+                             "rule from repro.fl.robust)")
     parser.add_argument("--sort", default="cumulative",
                         choices=["cumulative", "tottime", "ncalls"])
     parser.add_argument("--top", type=int, default=30)
     parser.add_argument("--client", action="store_true",
                         help="summarize local-step time by client-side phase "
                              "and restrict the listing to client-side code")
+    parser.add_argument("--metrics", action="store_true",
+                        help="also print the full metric summary table")
     args = parser.parse_args()
 
-    from repro.api import ExperimentSpec
-    from repro.api.engine import Engine
+    import os
+    import tempfile
 
+    from repro.api import ExperimentSpec
+    from repro.api.registry import build_mode
+
+    # A metrics_out path turns the obs recorder on end-to-end — including
+    # the process pool's worker shards, whose obs flag is baked into the
+    # picklable worker spec at engine construction.  The exposition file
+    # itself is a throwaway; the breakdown below reads the live registry.
+    fd, metrics_tmp = tempfile.mkstemp(prefix="profile_round_", suffix=".prom")
+    os.close(fd)
     spec = ExperimentSpec(
         dataset=args.dataset, model=args.model, method=args.method,
         n_clients=args.clients,
         clients_per_round=args.clients_per_round or args.clients,
         rounds=args.rounds + 1, batch_size=args.batch_size,
         eval_every=10_000,  # keep evaluation out of the profile
+        executor=args.executor, n_workers=args.workers,
+        mode=args.mode, aggregator=args.aggregator,
+        metrics_out=metrics_tmp,
     )
-    engine = Engine(
-        spec.build_data(), spec.build_strategy(), spec.build_config(),
-        model_name=spec.model, executor=args.executor, n_workers=args.workers,
-    )
+    engine = build_mode(args.mode, spec=spec, data=spec.build_data())
+    recorder = engine.obs
     try:
         engine.run_round()  # warmup: JIT-free, but primes caches and pools
+        recorder.metrics.drain()  # keep the breakdown to profiled rounds
 
         profiler = cProfile.Profile()
         profiler.enable()
@@ -125,6 +170,7 @@ def main() -> int:
         profiler.disable()
     finally:
         engine.close()
+        os.unlink(metrics_tmp)
 
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.strip_dirs().sort_stats(args.sort)
@@ -138,6 +184,10 @@ def main() -> int:
         _client_breakdown(stats, args.rounds)
     else:
         stats.print_stats(args.top)
+    _phase_breakdown(recorder.metrics, args.rounds)
+    if args.metrics:
+        print("\n--- metric summary ---")
+        print(recorder.summary_table())
     return 0
 
 

@@ -30,6 +30,7 @@ from repro.analysis.drift import DriftTracker as _DriftMetrics
 from repro.fl.history import History
 from repro.fl.types import ClientUpdate, RoundRecord
 from repro.io.persistence import save_checkpoint
+from repro.obs import MetricsRegistry
 from repro.utils.logging import get_logger
 
 __all__ = [
@@ -137,9 +138,53 @@ class EarlyStopping(Callback):
 
 
 class ProgressLogger(Callback):
-    """Log accuracy/loss on evaluated rounds (the old ``progress=True``)."""
+    """Log accuracy/loss on evaluated rounds (the old ``progress=True``).
+
+    Round/evaluation counting rides on the :mod:`repro.obs` metrics
+    registry rather than ad-hoc attributes: with observability on, the
+    logger reads the engine recorder's shared registry (``end_round``
+    updates it before this hook fires); otherwise it mirrors the two
+    counters it needs into a private registry.  The log format is
+    unchanged either way.
+    """
+
+    def __init__(self) -> None:
+        self._private: Optional[MetricsRegistry] = None
+        self._last: Optional[MetricsRegistry] = None
+
+    def _registry(self, engine) -> MetricsRegistry:
+        metrics = getattr(engine.obs, "metrics", None) if engine is not None else None
+        if metrics is not None:
+            self._last = metrics
+            return metrics
+        if self._private is None:
+            self._private = MetricsRegistry()
+        self._last = self._private
+        return self._private
+
+    def _count(self, registry: MetricsRegistry, name: str) -> float:
+        counter = registry.get(name)
+        return counter.value if counter is not None else 0.0
+
+    @property
+    def rounds_seen(self) -> int:
+        """Rounds observed so far, per the registry's fl_rounds_total."""
+        return int(self._count(self._last, "fl_rounds_total")) if self._last else 0
+
+    @property
+    def evaluations_seen(self) -> int:
+        """Evaluated rounds observed, per fl_evaluations_total."""
+        return int(self._count(self._last, "fl_evaluations_total")) if self._last else 0
 
     def on_round_end(self, engine, record: RoundRecord) -> None:
+        registry = self._registry(engine)
+        if registry is self._private:
+            # No engine recorder: mirror the counters the properties read.
+            registry.counter("fl_rounds_total", "rounds completed").inc()
+            if record.test_accuracy is not None:
+                registry.counter(
+                    "fl_evaluations_total", "rounds with a global evaluation"
+                ).inc()
         if record.test_accuracy is None:
             return
         _log.info(

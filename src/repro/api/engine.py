@@ -47,7 +47,7 @@ from repro.fl.executor import (
     make_optimizer,
 )
 from repro.fl.history import History
-from repro.fl.params import reset_default_pool
+from repro.fl.params import default_pool, reset_default_pool
 from repro.fl.population import ClientDirectory, FlatStateArena, PopulationSampler
 from repro.fl.process_executor import ProcessWorkerSpec
 from repro.fl.sampling import UniformSampler
@@ -55,6 +55,7 @@ from repro.fl.server import Server
 from repro.fl.types import ClientUpdate, FLConfig, RoundRecord
 from repro.models import build_model, profile_model
 from repro.models.fedmodel import FedModel
+from repro.obs import NULL_RECORDER, payload_nbytes
 from repro.nn.losses import CrossEntropyLoss
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngStream
@@ -143,6 +144,14 @@ class Engine:
         state before the directory's arena spills new state to mmap'd
         temp files; ``None`` keeps everything on the heap.  Requires
         ``population``.
+    recorder:
+        Optional :class:`~repro.obs.Recorder` capturing phase/task spans
+        and run metrics (built from ``ExperimentSpec.trace`` /
+        ``metrics_out``).  ``None`` (the default) installs the shared
+        no-op null recorder: hot-path instrumentation reduces to one
+        attribute check and zero allocations.  Purely observational —
+        recording never touches RNG state or reduction order, so
+        histories are byte-identical with and without it.
     """
 
     def __init__(
@@ -163,6 +172,7 @@ class Engine:
         population=None,
         agg_block_size: Optional[int] = None,
         state_mmap_mb: Optional[int] = None,
+        recorder=None,
     ) -> None:
         if config.n_clients != data.n_clients:
             raise ValueError(
@@ -273,6 +283,8 @@ class Engine:
             return WorkerContext(model, frozen, optimizer, CrossEntropyLoss())
 
         self.make_worker = make_worker
+        #: the run's observability sink (shared null recorder when off).
+        self.obs = recorder if recorder is not None else NULL_RECORDER
         self.runtime = TaskRuntime(
             clients=self.clients,
             strategy=strategy,
@@ -280,6 +292,7 @@ class Engine:
             fp_flops=float(self.profile.forward_flops),
             global_weights=self.server.weights,
             adversary=adversary,
+            recorder=self.obs,
         )
         self.executor = build_executor(executor, engine=self, n_workers=n_workers)
         self.history = History()
@@ -345,6 +358,8 @@ class Engine:
             fp_flops=float(self.profile.forward_flops),
             adversary=self.adversary,
             population=self.population,
+            obs_enabled=self.obs.enabled,
+            obs_spans=getattr(self.obs, "exporter", None) is not None,
         )
 
     # ------------------------------------------------------------------
@@ -404,6 +419,12 @@ class Engine:
         backends alias it (zero copies) and the process backend moves it
         into shared memory with a single flat ``np.copyto``."""
         self.executor.broadcast(self.server.plane, broadcast)
+        if self.obs.enabled:
+            self.obs.broadcast_bytes(
+                self.server.plane.layout.total_bytes,
+                payload_nbytes(broadcast),
+                len(selected),
+            )
         tasks = [
             ClientTaskSpec(
                 client_id=k,
@@ -416,6 +437,10 @@ class Engine:
         ]
         updates: List[ClientUpdate] = []
         for result in self.executor.run(tasks):
+            if result.obs is not None:
+                # Process-pool worker shard: merge in task order so the
+                # combined metrics are deterministic.
+                self.obs.absorb(result.obs)
             # Pooled backends trained on a copy of the client state; adopt
             # the returned dict so strategy state survives the round trip.
             self._adopt_state(result.update.client_id, result.state)
@@ -469,6 +494,7 @@ class Engine:
         loss: Optional[float],
         t0: float,
         update_staleness: Optional[List[int]] = None,
+        phase_seconds: Optional[Dict[str, float]] = None,
     ) -> RoundRecord:
         """Phase 7: cost bookkeeping + append the round record.
 
@@ -505,25 +531,91 @@ class Engine:
                 if self.adversary is not None else None
             ),
             round_skipped=self.server.last_skipped,
+            phase_seconds=phase_seconds,
         )
         self.history.append(record)
+        if self.obs.enabled:
+            self._observe_gauges()
+            # Round metrics land before on_round_end so callbacks reading
+            # the registry (ProgressLogger) see this round included.
+            self.obs.end_round(record)
         self._fire("on_round_end", record)
         return record
+
+    def _observe_gauges(self) -> None:
+        """Refresh end-of-round gauges: the population directory's state
+        arena (heap vs mmap residency) and the aggregation scratch pool's
+        peak shape.  Only called with a live recorder."""
+        m = self.obs.metrics
+        arena = getattr(self.clients, "arena", None)
+        if arena is not None:
+            stats = arena.stats()
+            m.gauge("fl_arena_heap_bytes",
+                    "flat client state resident on the heap").set(stats["heap_bytes"])
+            m.gauge("fl_arena_mapped_bytes",
+                    "flat client state spilled to mmap'd files").set(stats["mapped_bytes"])
+            m.gauge("fl_arena_slots", "interned flat state slots").set(stats["n_slots"])
+        rows, cols = default_pool().peak_shape
+        if rows:
+            m.gauge("fl_matrix_pool_peak_rows",
+                    "peak K of pooled (K, P) aggregation scratch").set(rows)
+            m.gauge("fl_matrix_pool_peak_cols",
+                    "peak P of pooled (K, P) aggregation scratch").set(cols)
 
     # ------------------------------------------------------------------
     # round loop
     # ------------------------------------------------------------------
+    def _end_phase(self, name: str, timings: Dict[str, float], t_start: float,
+                   **attrs) -> float:
+        """Close the phase opened by ``obs.begin_phase``: stamp its wall
+        time into ``timings`` (always — RoundRecord.phase_seconds is not
+        opt-in) and emit the span when a recorder is live.  Returns now, so
+        callers chain phases without re-reading the clock."""
+        now = time.perf_counter()
+        timings[name] = now - t_start
+        self.obs.end_phase(now - t_start, **attrs)
+        return now
+
     def run_round(self) -> RoundRecord:
         t0 = time.perf_counter()
+        obs = self.obs
         round_idx = self.server.round_idx
+        obs.begin_round(round_idx)
+        timings: Dict[str, float] = {}
+
+        obs.begin_phase("sample")
         selected = self._phase_sample(round_idx)
+        self._end_phase("sample", timings, t0, cohort=len(selected))
         self._fire("on_round_start", round_idx, selected)
+
+        t = time.perf_counter()  # callbacks don't bill to any phase
+        obs.begin_phase("broadcast")
         broadcast = self._phase_broadcast()
+        t = self._end_phase("broadcast", timings, t)
+
+        obs.begin_phase("preamble")
         broadcast, preamble_flops = self._phase_preamble(selected, round_idx, broadcast)
+        t = self._end_phase("preamble", timings, t, n_clients=len(preamble_flops))
+
+        obs.begin_phase("local_train")
         updates = self._phase_local_train(selected, round_idx, broadcast, preamble_flops)
+        t = self._end_phase("local_train", timings, t, n_updates=len(updates))
+
+        obs.begin_phase("aggregate")
         self._phase_aggregate(round_idx, updates)
+        t = self._end_phase(
+            "aggregate", timings, t,
+            dropped=len(self.server.last_dropped),
+            screened=len(self.server.last_screened),
+        )
+
+        obs.begin_phase("evaluate")
         acc, loss = self._phase_evaluate(round_idx)
-        return self._phase_record(round_idx, selected, updates, acc, loss, t0)
+        self._end_phase("evaluate", timings, t)
+
+        return self._phase_record(
+            round_idx, selected, updates, acc, loss, t0, phase_seconds=timings
+        )
 
     def run(self, progress: bool = False) -> History:
         """Run the remaining rounds (honouring early stop) and return the
@@ -567,6 +659,10 @@ class Engine:
         return self._load_global(self._model_fn())
 
     def close(self) -> None:
+        # Finalize observability first: derived gauges (rounds/sec) and the
+        # metrics exposition file want the run complete but the scratch
+        # pool's peak still intact.
+        self.obs.close()
         self.executor.close()
         # Release per-experiment scratch: pooled (K, P) matrices would
         # otherwise outlive the experiment on this thread (the shape-keyed

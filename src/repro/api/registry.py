@@ -272,6 +272,7 @@ def _sync_mode(spec, data, callbacks):
         population=spec.build_population(),
         agg_block_size=spec.agg_block_size,
         state_mmap_mb=spec.state_mmap_mb,
+        recorder=spec.build_recorder(),
     )
 
 
@@ -300,6 +301,7 @@ def _event_driven_mode(spec, data, callbacks, mode: str):
         aggregator=spec.build_aggregator(),
         adversary=spec.build_adversary(),
         agg_block_size=spec.agg_block_size,
+        recorder=spec.build_recorder(),
     )
 
 

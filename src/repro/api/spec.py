@@ -144,6 +144,16 @@ class ExperimentSpec:
     #: before the population directory spills new state to mmap'd temp
     #: files; requires population_size.  None = heap only.
     state_mmap_mb: Optional[int] = None
+    # -- observability (repro.obs) -------------------------------------------
+    #: JSONL span-trace output path: nested round -> phase -> client-task
+    #: spans with wall/virtual timings and payload byte counts.  None
+    #: disables tracing — the engine then carries the shared no-op
+    #: recorder, zero allocations on the hot path.
+    trace: Optional[str] = None
+    #: end-of-run metrics exposition path (Prometheus text format plus a
+    #: commented summary table).  Either observability flag alone turns
+    #: the metrics registry on.
+    metrics_out: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "overrides", _as_pairs(self.overrides, "overrides"))
@@ -274,8 +284,15 @@ class ExperimentSpec:
 
         Shared with :meth:`repro.io.persistence.ExperimentStore.key` so a
         sweep store written by one runner is readable by any other.
+
+        The observability outputs (``trace`` / ``metrics_out``) do not
+        participate: where a run writes its spans does not change the
+        experiment being run, and existing store keys stay stable.
         """
-        return ExperimentStore.key(self.to_dict())
+        d = self.to_dict()
+        d.pop("trace")
+        d.pop("metrics_out")
+        return ExperimentStore.key(d)
 
     # ------------------------------------------------------------------
     # builders — the one place run construction logic lives
@@ -380,6 +397,16 @@ class ExperimentSpec:
             seed=self.seed,
             **dict(self.adversary_kwargs),
         )
+
+    def build_recorder(self):
+        """The live :class:`repro.obs.Recorder`, or ``None`` when both
+        observability outputs are unset (the engine then keeps the shared
+        no-op recorder and the hot path allocates nothing)."""
+        if self.trace is None and self.metrics_out is None:
+            return None
+        from repro.obs import Recorder
+
+        return Recorder.create(trace_path=self.trace, metrics_path=self.metrics_out)
 
     def build_system_model(self, default: Optional[str] = None) -> Optional[SystemModel]:
         """The device/network model implied by ``device_profile``.

@@ -122,6 +122,16 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
                    help="heap budget (MiB) for lazy per-client strategy "
                         "state before spilling to mmap'd temp files "
                         "(requires --population-size)")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a JSONL span trace (round -> phase -> "
+                        "client-task, wall + virtual timings, payload "
+                        "bytes) to PATH; off by default with zero "
+                        "hot-path overhead")
+    p.add_argument("--metrics-out", default=None, dest="metrics_out",
+                   metavar="PATH",
+                   help="write end-of-run metrics (Prometheus text "
+                        "exposition plus a commented summary table) to "
+                        "PATH")
 
 
 def _parse_value(text: str) -> Any:
@@ -177,6 +187,8 @@ def _spec_from_args(args, method: Optional[str] = None,
         population_size=getattr(args, "population_size", None),
         agg_block_size=getattr(args, "agg_block_size", None),
         state_mmap_mb=getattr(args, "state_mmap_mb", None),
+        trace=getattr(args, "trace", None),
+        metrics_out=getattr(args, "metrics_out", None),
     )
 
 
@@ -205,6 +217,10 @@ def cmd_train(args) -> int:
     if simulated:
         print(f"simulated time: {simulated[-1] / 3600.0:.3f} h "
               f"(mode={spec.mode}, profile={spec.device_profile or 'wifi'})")
+    if args.trace:
+        print(f"span trace written to {args.trace}")
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
     if args.out:
         save_history(hist, args.out)
         print(f"history saved to {args.out}")

@@ -42,7 +42,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -128,6 +128,7 @@ class AsyncFLEngine(Engine):
         aggregator=None,
         adversary=None,
         agg_block_size: Optional[int] = None,
+        recorder=None,
     ) -> None:
         # All validation happens before super().__init__ builds the
         # executor — raising afterwards would leak a spawned worker pool.
@@ -185,7 +186,7 @@ class AsyncFLEngine(Engine):
             data, strategy, config, model_name=model_name, model_fn=model_fn,
             sampler=sampler, n_workers=n_workers, executor=executor,
             callbacks=callbacks, aggregator=aggregator, adversary=adversary,
-            agg_block_size=agg_block_size,
+            agg_block_size=agg_block_size, recorder=recorder,
         )
         self.timing = timing
         self.mode = mode
@@ -219,8 +220,22 @@ class AsyncFLEngine(Engine):
             return
         version = self.server.round_idx
         if self._broadcast_version != version:
-            self.executor.broadcast(self.server.plane, self.server.broadcast_payload())
+            payload = self.server.broadcast_payload()
+            self.executor.broadcast(self.server.plane, payload)
             self._broadcast_version = version
+            if self.obs.enabled:
+                from repro.obs import payload_nbytes
+
+                self._obs_payload_nbytes = payload_nbytes(payload)
+        if self.obs.enabled:
+            # Downlink accounting: every dispatched client adopts the
+            # current global model (the executor broadcast is per version,
+            # but each client logically downloads it once per dispatch).
+            self.obs.broadcast_bytes(
+                self.server.plane.layout.total_bytes,
+                getattr(self, "_obs_payload_nbytes", 0),
+                len(client_ids),
+            )
         tasks = []
         for client_id in client_ids:
             previous = self._last_dispatch_version.get(client_id)
@@ -236,6 +251,9 @@ class AsyncFLEngine(Engine):
             )
             self._busy.add(client_id)
         for task, result in zip(tasks, self.executor.run(tasks)):
+            if result.obs is not None:
+                # Process-pool worker shard, merged in task order.
+                self.obs.absorb(result.obs)
             duration = self.timing.duration_s(
                 task.client_id, result.update.flops, result.update.comm_bytes
             )
@@ -378,10 +396,17 @@ class AsyncFLEngine(Engine):
     def run_round(self) -> RoundRecord:
         t0 = time.perf_counter()
         round_idx = self.server.round_idx
+        self.obs.begin_round(round_idx)
+        timings: Dict[str, float] = {}
+        t = t0
 
         if self.mode == "semisync":
+            self.obs.begin_phase("sample")
             selected = self._phase_sample(round_idx)
+            t = self._end_phase("sample", timings, t, cohort=len(selected))
             self._fire("on_round_start", round_idx, selected)
+            t = time.perf_counter()  # callbacks don't bill to any phase
+            self.obs.begin_phase("local_train")
             self._dispatch_wave([k for k in selected if k not in self._busy])
             deadline = (
                 self.clock.now + self.deadline_s
@@ -403,21 +428,46 @@ class AsyncFLEngine(Engine):
                 # clock stays at the last arrival.)
                 self.clock.advance_to(deadline)
             batch = self._take_batch()
+            t = self._end_phase(
+                "local_train", timings, t,
+                arrived=len(batch), virtual_s=self.clock.now,
+            )
+            self.obs.begin_phase("aggregate")
             self._phase_aggregate(round_idx, [a.update for a in batch])
+            t = self._end_phase(
+                "aggregate", timings, t,
+                n_updates=len(batch), virtual_s=self.clock.now,
+            )
         else:  # async
+            self.obs.begin_phase("sample")
             selected = self._refill_async()
+            t = self._end_phase("sample", timings, t, cohort=len(selected))
             self._fire("on_round_start", round_idx, selected)
+            t = time.perf_counter()  # callbacks don't bill to any phase
+            self.obs.begin_phase("local_train")
             while len(self._buffer) < self.buffer_size:
                 self._arrive(self.events.pop())
             batch = self._take_batch()
+            t = self._end_phase(
+                "local_train", timings, t,
+                arrived=len(batch), virtual_s=self.clock.now,
+            )
+            self.obs.begin_phase("aggregate")
             self._apply_async(round_idx, batch)
+            t = self._end_phase(
+                "aggregate", timings, t,
+                n_updates=len(batch), virtual_s=self.clock.now,
+            )
 
         self._virtual_time_s = self.clock.now
+        self.obs.begin_phase("evaluate")
         acc, loss = self._phase_evaluate(round_idx)
+        t = self._end_phase("evaluate", timings, t)
         return self._phase_record(
             round_idx,
             [a.update.client_id for a in batch],
             [a.update for a in batch],
             acc, loss, t0,
             update_staleness=[a.staleness for a in batch],
+            phase_seconds=timings,
         )

@@ -35,6 +35,7 @@ from repro.fl.client import Client, run_client_round
 from repro.fl.params import ParamPlane
 from repro.fl.robust.adversaries import Adversary
 from repro.fl.types import ClientUpdate, FLConfig
+from repro.obs import NULL_RECORDER
 from repro.models.fedmodel import FedModel
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.module import Module
@@ -53,6 +54,7 @@ __all__ = [
     "build_round_context",
     "execute_task",
     "make_optimizer",
+    "upload_nbytes",
 ]
 
 
@@ -136,10 +138,17 @@ class ClientTaskSpec:
 
 @dataclass
 class TaskResult:
-    """What an executor returns per task: the update + the new client state."""
+    """What an executor returns per task: the update + the new client state.
+
+    ``obs`` is a process-pool worker's drained observability shard (span
+    records + metric deltas, plain picklable dicts) when the run has
+    tracing/metrics enabled; ``None`` otherwise and for in-process
+    backends, which record straight into the engine's recorder.
+    """
 
     update: ClientUpdate
     state: Dict[str, Any]
+    obs: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -174,6 +183,12 @@ class TaskRuntime:
     #: path every backend shares, so the attack composes identically with
     #: serial/threaded/process executors and sync/semisync/async modes.
     adversary: Optional[Adversary] = None
+    #: observability sink for per-task spans/metrics (see :mod:`repro.obs`).
+    #: In-process backends share the engine's recorder (thread-safe); each
+    #: process-pool worker gets its own shard recorder whose output pickles
+    #: home on the task result.  Defaults to the no-op null recorder, which
+    #: hot-path call sites skip with a single attribute check.
+    recorder: Any = NULL_RECORDER
 
 
 def build_round_context(
@@ -216,6 +231,21 @@ def build_round_context(
     )
 
 
+def upload_nbytes(update: ClientUpdate) -> int:
+    """Actual bytes an update puts on the (simulated) uplink: the flat
+    weight vector plus any ndarray extras.  Distinct from the cost model's
+    ``comm_bytes`` (which prices a whole round trip per the paper)."""
+    flat = update.flat
+    if flat is not None:
+        total = int(flat.nbytes)
+    else:
+        total = sum(int(np.asarray(w).nbytes) for w in update.weights)
+    for value in update.extras.values():
+        if isinstance(value, np.ndarray):
+            total += int(value.nbytes)
+    return total
+
+
 def execute_task(task: ClientTaskSpec, worker: WorkerContext, runtime: TaskRuntime) -> TaskResult:
     """Run one client task on one worker context (any backend, any process).
 
@@ -223,7 +253,14 @@ def execute_task(task: ClientTaskSpec, worker: WorkerContext, runtime: TaskRunti
     the honest update is corrupted *here*, at upload time — after local
     training, before the result leaves the worker — so every backend and
     server mode sees the identical crafted update.
+
+    This is also the observability choke point: with a live recorder on
+    the runtime, every backend's tasks emit the same per-client span and
+    metric updates.  The disabled path is one attribute check — no timer,
+    no allocations.
     """
+    recorder = runtime.recorder
+    t_start = time.perf_counter() if recorder.enabled else 0.0
     if task.emulate_seconds > 0.0:
         time.sleep(task.emulate_seconds)
     client = runtime.clients[task.client_id]
@@ -237,6 +274,16 @@ def execute_task(task: ClientTaskSpec, worker: WorkerContext, runtime: TaskRunti
     if adversary is not None and adversary.is_adversary(task.client_id):
         update = adversary.corrupt_update(
             update, task.round_idx, runtime.global_flat, runtime.global_weights
+        )
+    if recorder.enabled:
+        recorder.client_task(
+            client_id=task.client_id,
+            round_idx=task.round_idx,
+            dur_s=time.perf_counter() - t_start,
+            n_samples=update.num_samples,
+            flops=update.flops,
+            bytes_up=upload_nbytes(update),
+            staleness=task.xi_measured,
         )
     return TaskResult(update=update, state=ctx.state)
 

@@ -99,6 +99,21 @@ class History:
             out.extend(r.screened_clients)
         return out
 
+    def phase_seconds_totals(self) -> Dict[str, float]:
+        """Total wall seconds per engine phase, summed across rounds.
+
+        Keys are the phase names each engine recorded (sync:
+        sample/broadcast/preamble/local_train/aggregate/evaluate; the
+        event-driven modes record theirs); rounds without a breakdown
+        (e.g. histories loaded from pre-format files) contribute nothing.
+        """
+        totals: Dict[str, float] = {}
+        for r in self.records:
+            if r.phase_seconds:
+                for name, dur in r.phase_seconds.items():
+                    totals[name] = totals.get(name, 0.0) + dur
+        return totals
+
     def adversary_hit_rate(self) -> float:
         """Fraction of screened ids that actually sat on the adversary
         roster — a precision measure for screening rules (NaN when nothing

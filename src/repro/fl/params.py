@@ -45,6 +45,7 @@ __all__ = [
     "GradPlane",
     "MatrixPool",
     "as_flat",
+    "default_pool",
     "materialize_parameters",
     "reset_default_pool",
     "stack_updates",
@@ -284,8 +285,14 @@ class MatrixPool:
     def __init__(self, max_entries: int = 4) -> None:
         self._max = max_entries
         self._pool: Dict[Tuple[int, int], np.ndarray] = {}
+        #: largest (K, P) shape ever handed out, by element count — the
+        #: pool's peak scratch footprint, surfaced as an observability
+        #: gauge.  Survives clear(): it describes the run, not the cache.
+        self.peak_shape: Tuple[int, int] = (0, 0)
 
     def take(self, k: int, p: int) -> np.ndarray:
+        if k * p > self.peak_shape[0] * self.peak_shape[1]:
+            self.peak_shape = (k, p)
         mat = self._pool.get((k, p))
         if mat is None:
             if len(self._pool) >= self._max:
@@ -306,6 +313,12 @@ def _default_pool() -> MatrixPool:
     if pool is None:
         pool = _POOLS.pool = MatrixPool()
     return pool
+
+
+def default_pool() -> MatrixPool:
+    """This thread's shared scratch pool (public read access — the engine's
+    observability gauges report its peak shape)."""
+    return _default_pool()
 
 
 def reset_default_pool() -> None:

@@ -55,6 +55,7 @@ from repro.fl.population import ClientDirectory, Population
 from repro.fl.robust.adversaries import Adversary
 from repro.fl.types import FLConfig
 from repro.models import build_model
+from repro.obs import WorkerShardRecorder
 from repro.nn.losses import CrossEntropyLoss
 from repro.utils.rng import RngStream
 
@@ -84,6 +85,12 @@ class ProcessWorkerSpec:
     #: instead of an eager client list.  Client state still travels with
     #: each task, so worker-side directories only serve shards and RNG.
     population: Optional[Population] = None
+    #: observability (repro.obs): when true, each pool worker builds a
+    #: WorkerShardRecorder whose per-task metric deltas (and, with
+    #: obs_spans, span records) pickle home on every TaskResult; the engine
+    #: absorbs them in task order so merged metrics are deterministic.
+    obs_enabled: bool = False
+    obs_spans: bool = False
     #: filled in by ProcessExecutor.__init__, never by the engine
     layout: Optional[WeightLayout] = None
     shm_name: str = ""
@@ -179,6 +186,8 @@ def _init_worker(spec: ProcessWorkerSpec) -> None:
         global_flat=flat_view,
         adversary=spec.adversary,
     )
+    if spec.obs_enabled:
+        _RUNTIME.recorder = WorkerShardRecorder(with_spans=spec.obs_spans)
 
 
 def _run_task(job: Tuple[ClientTaskSpec, PayloadRef]) -> TaskResult:
@@ -186,7 +195,13 @@ def _run_task(job: Tuple[ClientTaskSpec, PayloadRef]) -> TaskResult:
     assert _WORKER is not None and _RUNTIME is not None, "worker not initialized"
     task, payload_ref = job
     _RUNTIME.server_broadcast = _resolve_payload(payload_ref)
-    return execute_task(task, _WORKER, _RUNTIME)
+    result = execute_task(task, _WORKER, _RUNTIME)
+    recorder = _RUNTIME.recorder
+    if recorder.enabled:
+        # Drain this worker's observability shard onto the result so the
+        # engine can merge it at round end (plain dicts, cheap to pickle).
+        result.obs = recorder.drain()
+    return result
 
 
 class ProcessExecutor:

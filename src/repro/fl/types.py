@@ -170,6 +170,13 @@ class RoundRecord:
     on the adversary roster (``None`` when no adversary is attached —
     distinct from "an adversary attacked but none were sampled", which is
     ``[]``).
+
+    ``phase_seconds`` breaks ``wall_seconds`` down by engine phase
+    (``sample``/``broadcast``/``preamble``/``local_train``/``aggregate``/
+    ``evaluate`` in sync mode; the event-driven modes record the phases
+    they have).  Like ``wall_seconds`` it is host time — excluded from
+    byte-identity comparisons — and always recorded; the opt-in
+    :mod:`repro.obs` tracer adds spans and metrics on top of it.
     """
 
     round_idx: int
@@ -186,6 +193,7 @@ class RoundRecord:
     screened_clients: List[int] = field(default_factory=list)
     adversary_clients: Optional[List[int]] = None
     round_skipped: bool = False
+    phase_seconds: Optional[Dict[str, float]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -209,4 +217,8 @@ class RoundRecord:
                 if self.adversary_clients is not None else None
             ),
             "round_skipped": self.round_skipped,
+            "phase_seconds": (
+                dict(self.phase_seconds)
+                if self.phase_seconds is not None else None
+            ),
         }

@@ -60,6 +60,8 @@ def load_history(path: str) -> History:
                 screened_clients=list(rec.get("screened_clients", [])),
                 adversary_clients=rec.get("adversary_clients"),
                 round_skipped=bool(rec.get("round_skipped", False)),
+                # Per-phase wall breakdown postdates the format as well.
+                phase_seconds=rec.get("phase_seconds"),
             )
         )
     return hist

@@ -1,0 +1,48 @@
+"""``repro.obs`` — span tracing + metrics for the federation stack.
+
+Two instruments behind one :class:`~repro.obs.recorder.Recorder`:
+
+* **spans** (:mod:`repro.obs.trace`): nested round → phase → per-client
+  task records with wall time, virtual-clock time and payload byte counts,
+  exported as JSONL;
+* **metrics** (:mod:`repro.obs.metrics`): counters/gauges/histograms with
+  process-worker shards that pickle home and merge at round end,
+  Prometheus text exposition and an end-of-run summary table.
+
+Enabled per run through ``ExperimentSpec.trace`` / ``metrics_out`` (CLI:
+``--trace`` / ``--metrics-out``).  The disabled path is the shared
+:data:`NULL_RECORDER` no-op — zero allocations on the hot path — and
+enabling tracing never touches RNG or reduction order, so histories stay
+byte-identical with tracing on or off.  See ``docs/observability.md``.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    label_suffix,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    WorkerShardRecorder,
+    payload_nbytes,
+)
+from repro.obs.trace import JsonlExporter, ListExporter
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "label_suffix",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "WorkerShardRecorder",
+    "payload_nbytes",
+    "JsonlExporter",
+    "ListExporter",
+]

@@ -32,11 +32,13 @@ def tiny_spec(**overrides) -> ExperimentSpec:
 
 
 def assert_identical_histories(a: History, b: History, context: str = "") -> None:
-    """Byte-identical round records; wall_seconds (host time) excluded."""
+    """Byte-identical round records; wall_seconds and its per-phase
+    breakdown (both host time) excluded."""
     assert len(a) == len(b), context
     for ra, rb in zip(a.records, b.records):
         da, db = ra.to_dict(), rb.to_dict()
-        da.pop("wall_seconds"), db.pop("wall_seconds")
+        for key in ("wall_seconds", "phase_seconds"):
+            da.pop(key), db.pop(key)
         assert da == db, f"{context}: round {ra.round_idx} diverged"
 
 

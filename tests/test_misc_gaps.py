@@ -100,7 +100,7 @@ class TestRoundRecordDict:
             "mean_train_loss", "cumulative_flops", "cumulative_comm_bytes",
             "wall_seconds", "virtual_time_s", "update_staleness",
             "dropped_clients", "screened_clients", "adversary_clients",
-            "round_skipped",
+            "round_skipped", "phase_seconds",
         }
         # Virtual-clock fields default to None so sync-without-profile
         # histories serialize exactly as before (modulo the new keys).
