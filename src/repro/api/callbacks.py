@@ -29,7 +29,7 @@ import numpy as np
 from repro.analysis.drift import DriftTracker as _DriftMetrics
 from repro.fl.history import History
 from repro.fl.types import ClientUpdate, RoundRecord
-from repro.io.persistence import save_checkpoint
+from repro.io.persistence import save_checkpoint, save_engine_snapshot
 from repro.obs import MetricsRegistry
 from repro.utils.logging import get_logger
 
@@ -207,14 +207,37 @@ class Checkpointer(Callback):
     end) and ``final.npz`` when training finishes.  Per-round metadata
     records that round's index and evaluated accuracy; ``final.npz``
     records the number of completed rounds.
+
+    With ``engine_state=True`` it additionally writes ``latest.ckpt`` —
+    the engine's full crash-safe snapshot (``Engine.snapshot()``) — on
+    every qualifying round end.  The write is atomic, so a run killed
+    mid-save still leaves the previous complete snapshot in place;
+    ``run_experiment(spec, resume_from="<dir>/latest.ckpt")`` continues
+    byte-identically from the last completed round.
     """
 
-    def __init__(self, directory: str, every: Optional[int] = None) -> None:
+    #: filename of the rolling engine snapshot written by ``engine_state``
+    SNAPSHOT_NAME = "latest.ckpt"
+
+    def __init__(
+        self,
+        directory: str,
+        every: Optional[int] = None,
+        engine_state: bool = False,
+    ) -> None:
         if every is not None and every <= 0:
             raise ValueError("every must be positive")
         self.directory = directory
         self.every = every
+        self.engine_state = engine_state
         self.saved: list = []
+
+    @property
+    def snapshot_path(self) -> str:
+        return os.path.join(self.directory, self.SNAPSHOT_NAME)
+
+    def _save_engine_state(self, engine) -> None:
+        save_engine_snapshot(self.snapshot_path, engine.snapshot())
 
     def _save(self, engine, name: str, round_idx: int,
               record: Optional[RoundRecord]) -> None:
@@ -229,10 +252,14 @@ class Checkpointer(Callback):
     def on_round_end(self, engine, record: RoundRecord) -> None:
         if self.every is not None and (record.round_idx + 1) % self.every == 0:
             self._save(engine, f"round_{record.round_idx}", record.round_idx, record)
+            if self.engine_state:
+                self._save_engine_state(engine)
 
     def on_fit_end(self, engine, history: History) -> None:
         record = history.records[-1] if history.records else None
         self._save(engine, "final", len(history), record)
+        if self.engine_state:
+            self._save_engine_state(engine)
 
 
 class DriftTracker(Callback):

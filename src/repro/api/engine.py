@@ -30,8 +30,11 @@ shim over this engine; :func:`run_experiment` is the declarative front door.
 
 from __future__ import annotations
 
+import copy
+import math
 import time
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from dataclasses import replace
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -41,11 +44,13 @@ from repro.fl.client import Client
 from repro.fl.evaluation import evaluate_model, full_batch_gradient
 from repro.fl.executor import (
     ClientTaskSpec,
+    TaskResult,
     TaskRuntime,
     WorkerContext,
     build_round_context,
     make_optimizer,
 )
+from repro.fl.faults import TaskFailure
 from repro.fl.history import History
 from repro.fl.params import default_pool, reset_default_pool
 from repro.fl.population import ClientDirectory, FlatStateArena, PopulationSampler
@@ -66,6 +71,15 @@ from repro.api.registry import build_executor, build_mode
 __all__ = ["Engine", "run_experiment", "make_optimizer"]
 
 _log = get_logger("api.engine")
+
+#: first retry waits this many *simulated* seconds, doubling per attempt
+#: (attempt n is preceded by base * 2**(n-1)).  A constant, not a knob:
+#: retry pricing must be identical everywhere for cross-backend identity,
+#: and the virtual clock is observational anyway.
+RETRY_BACKOFF_BASE_S = 1.0
+
+#: engine snapshot format written by :meth:`Engine.snapshot`.
+SNAPSHOT_FORMAT = 1
 
 
 class Engine:
@@ -152,6 +166,31 @@ class Engine:
         attribute check and zero allocations.  Purely observational —
         recording never touches RNG state or reduction order, so
         histories are byte-identical with and without it.
+    fault_injector:
+        Optional :class:`~repro.fl.faults.FaultInjector` failing client
+        tasks inside the shared executor path (built from
+        ``ExperimentSpec.fault``).  ``None`` leaves every legacy code path
+        byte-identical.
+    task_retries:
+        Retry budget per client task per round: a retryable failure is
+        re-dispatched up to this many times, each retry re-drawing its
+        fault coin (keyed by attempt) and charging exponential backoff
+        (``RETRY_BACKOFF_BASE_S * 2**(attempt-1)`` simulated seconds) to
+        the virtual clock.  0 (default) fails tasks on first strike.
+    task_timeout_s:
+        Per-task report deadline in *simulated* seconds: a straggler
+        fault's injected delay beyond this turns the task into a
+        ``"timeout"`` failure — its update is discarded (subject to
+        retry), though the client's trained state is still adopted (the
+        work happened on the device; only the report was late).  ``None``
+        disables the deadline.
+    quorum_fraction:
+        Synchronous graceful degradation: aggregate only when at least
+        ``ceil(quorum_fraction * K)`` of the K selected clients delivered
+        a usable update; below quorum the round is skipped (global model
+        kept, ``skip_reason="quorum"`` — or ``"no_updates"`` when nobody
+        reported).  0.0 (default) aggregates whatever arrived, but an
+        all-fail round still skips rather than aggregating nothing.
     """
 
     def __init__(
@@ -173,7 +212,17 @@ class Engine:
         agg_block_size: Optional[int] = None,
         state_mmap_mb: Optional[int] = None,
         recorder=None,
+        fault_injector=None,
+        task_retries: int = 0,
+        task_timeout_s: Optional[float] = None,
+        quorum_fraction: float = 0.0,
     ) -> None:
+        if task_retries < 0:
+            raise ValueError("task_retries must be >= 0")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be positive when set")
+        if not 0.0 <= quorum_fraction <= 1.0:
+            raise ValueError("quorum_fraction must be in [0, 1]")
         if config.n_clients != data.n_clients:
             raise ValueError(
                 f"config.n_clients={config.n_clients} but data has {data.n_clients} shards"
@@ -285,6 +334,24 @@ class Engine:
         self.make_worker = make_worker
         #: the run's observability sink (shared null recorder when off).
         self.obs = recorder if recorder is not None else NULL_RECORDER
+        self.fault_injector = fault_injector
+        self.task_retries = int(task_retries)
+        self.task_timeout_s = task_timeout_s
+        self.quorum_fraction = float(quorum_fraction)
+        #: True when any failure-policy knob is on.  The screens and the
+        #: quorum gate only engage then, so legacy runs (no policy) keep
+        #: their exact historical behaviour — including aggregator-side
+        #: handling of non-finite losses.
+        self._policy_active = (
+            fault_injector is not None
+            or self.task_retries > 0
+            or task_timeout_s is not None
+            or self.quorum_fraction > 0.0
+        )
+        # Per-round fault bookkeeping, reset by _reset_fault_round().
+        self._round_failed: List[int] = []
+        self._round_retried: List[int] = []
+        self._round_fault_extra_s = 0.0
         self.runtime = TaskRuntime(
             clients=self.clients,
             strategy=strategy,
@@ -292,6 +359,7 @@ class Engine:
             fp_flops=float(self.profile.forward_flops),
             global_weights=self.server.weights,
             adversary=adversary,
+            fault_injector=fault_injector,
             recorder=self.obs,
         )
         self.executor = build_executor(executor, engine=self, n_workers=n_workers)
@@ -360,6 +428,7 @@ class Engine:
             population=self.population,
             obs_enabled=self.obs.enabled,
             obs_spans=getattr(self.obs, "exporter", None) is not None,
+            fault_injector=self.fault_injector,
         )
 
     # ------------------------------------------------------------------
@@ -435,18 +504,53 @@ class Engine:
             )
             for k in selected
         ]
-        updates: List[ClientUpdate] = []
-        for result in self.executor.run(tasks):
-            if result.obs is not None:
-                # Process-pool worker shard: merge in task order so the
-                # combined metrics are deterministic.
-                self.obs.absorb(result.obs)
-            # Pooled backends trained on a copy of the client state; adopt
-            # the returned dict so strategy state survives the round trip.
-            self._adopt_state(result.update.client_id, result.state)
-            updates.append(result.update)
-            self._fire("on_client_update", round_idx, result.update)
-        return updates
+        updates_by_client: Dict[int, ClientUpdate] = {}
+        pending = tasks
+        wave = 0
+        while pending:
+            if wave > 0:
+                # Retry wave n is preceded by exponential backoff, priced
+                # on the virtual clock (no wall sleep).
+                self._round_fault_extra_s += RETRY_BACKOFF_BASE_S * (2.0 ** (wave - 1))
+            next_pending: List[ClientTaskSpec] = []
+            wave_delay = 0.0
+            for task, result in zip(pending, self.executor.run(pending)):
+                if result.obs is not None:
+                    # Process-pool worker shard: merge in task order so the
+                    # combined metrics are deterministic.
+                    self.obs.absorb(result.obs)
+                wave_delay = max(wave_delay, result.fault_delay_s)
+                failure = self._screen_result(task, result)
+                if failure is None:
+                    # Pooled backends trained on a copy of the client state;
+                    # adopt the returned dict so strategy state survives the
+                    # round trip.
+                    self._adopt_state(result.update.client_id, result.state)
+                    updates_by_client[task.client_id] = result.update
+                    self._fire("on_client_update", round_idx, result.update)
+                    continue
+                if result.state is not None:
+                    # Timeout: the device trained (state advanced on-device)
+                    # but the report missed the deadline — adopt the state,
+                    # discard the update.
+                    self._adopt_state(task.client_id, result.state)
+                if failure.retryable and task.attempt < self.task_retries:
+                    self._round_retried.append(task.client_id)
+                    next_pending.append(replace(
+                        task,
+                        state=self.clients[task.client_id].state,
+                        attempt=task.attempt + 1,
+                    ))
+                else:
+                    self._round_failed.append(task.client_id)
+            # The slowest injected straggler delay of this wave stretches
+            # the round on the virtual clock (waves are sequential).
+            self._round_fault_extra_s += wave_delay
+            pending = next_pending
+            wave += 1
+        # Selected order == task order, so a policy-free run (nothing can
+        # fail) assembles the exact list the pre-fault engine built.
+        return [updates_by_client[k] for k in selected if k in updates_by_client]
 
     def _adopt_state(self, client_id: int, state: Dict) -> None:
         """Land a post-round client state dict.  The lazy directory routes
@@ -457,6 +561,86 @@ class Engine:
             adopt(client_id, state)
         else:
             self.clients[client_id].state = state
+
+    # ------------------------------------------------------------------
+    # failure policy
+    # ------------------------------------------------------------------
+    def _reset_fault_round(self) -> None:
+        """Clear the per-round fault bookkeeping (called at round start)."""
+        self._round_failed = []
+        self._round_retried = []
+        self._round_fault_extra_s = 0.0
+
+    def _screen_result(self, task: ClientTaskSpec,
+                       result: TaskResult) -> Optional[TaskFailure]:
+        """The engine side of the failure policy: decide whether one task
+        result is usable.
+
+        Injector-made failures arrive ready on ``result.failure``; with the
+        policy active this additionally turns an over-deadline straggler
+        delay into a ``"timeout"`` failure and a non-finite training loss
+        into a non-retryable ``"nonfinite"`` one (training is
+        deterministic — retraining reproduces the divergence, so the retry
+        budget is not spent on it).  With no policy configured nothing is
+        screened and the aggregator's finite-check keeps its historical
+        role.
+        """
+        failure = result.failure
+        if failure is None and self._policy_active and result.update is not None:
+            if (
+                self.task_timeout_s is not None
+                and result.fault_delay_s > self.task_timeout_s
+            ):
+                failure = TaskFailure(
+                    kind="timeout",
+                    client_id=task.client_id,
+                    round_idx=task.round_idx,
+                    attempt=task.attempt,
+                    detail=(
+                        f"report took {result.fault_delay_s:.3f}s simulated, "
+                        f"deadline {self.task_timeout_s:.3f}s"
+                    ),
+                )
+            elif not math.isfinite(result.update.train_loss):
+                failure = TaskFailure(
+                    kind="nonfinite",
+                    client_id=task.client_id,
+                    round_idx=task.round_idx,
+                    attempt=task.attempt,
+                    retryable=False,
+                    detail="non-finite training loss",
+                )
+            if failure is not None:
+                result.failure = failure
+        if failure is not None and self.obs.enabled:
+            self.obs.metrics.counter(
+                "fl_task_failures_total", "client task attempts that failed",
+                labels={"kind": failure.kind},
+            ).inc()
+            if result.flops_wasted:
+                self.obs.metrics.counter(
+                    "fl_flops_wasted_total",
+                    "client FLOPs burned by failed attempts (mid-train crashes)",
+                ).inc(result.flops_wasted)
+        return failure
+
+    def _quorum_skip_reason(self, selected: List[int],
+                            updates: List[ClientUpdate]) -> Optional[str]:
+        """Why aggregation must be skipped this round, or None to proceed.
+
+        Only consulted with the failure policy active (otherwise every
+        selected client reported, as ever).  An all-fail round always
+        skips — there is nothing to aggregate; below-quorum participation
+        skips with ``"quorum"``.
+        """
+        if not self._policy_active:
+            return None
+        if not updates:
+            return "no_updates"
+        needed = math.ceil(self.quorum_fraction * len(selected))
+        if len(updates) < needed:
+            return "quorum"
+        return None
 
     def _phase_aggregate(self, round_idx: int, updates: List[ClientUpdate]) -> None:
         """Phase 5: observers see (updates, pre-aggregation weights), then
@@ -479,10 +663,13 @@ class Engine:
 
     def _observe_virtual_time(self, updates: List[ClientUpdate]) -> None:
         """Advance the simulated clock by this synchronous round's duration
-        (slowest selected client) when a system model is attached."""
+        (slowest selected client, plus any injected straggler delays and
+        retry backoff) when a system model is attached."""
         if self.system_model is None:
             return
-        self.system_model.observe(updates, self.server.weights)
+        self.system_model.observe(
+            updates, self.server.weights, extra_s=self._round_fault_extra_s
+        )
         self._virtual_time_s = self.system_model.total_seconds()
 
     def _phase_record(
@@ -511,7 +698,10 @@ class Engine:
             selected=selected,
             test_accuracy=acc,
             test_loss=loss,
-            mean_train_loss=float(np.mean([u.train_loss for u in updates])),
+            mean_train_loss=(
+                float(np.mean([u.train_loss for u in updates]))
+                if updates else float("nan")
+            ),
             cumulative_flops=(prev.cumulative_flops if prev else 0.0) + round_flops,
             cumulative_comm_bytes=(prev.cumulative_comm_bytes if prev else 0.0) + round_comm,
             wall_seconds=time.perf_counter() - t0,
@@ -532,6 +722,9 @@ class Engine:
             ),
             round_skipped=self.server.last_skipped,
             phase_seconds=phase_seconds,
+            failed_clients=sorted(self._round_failed),
+            retried_clients=list(self._round_retried),
+            skip_reason=self.server.last_skip_reason,
         )
         self.history.append(record)
         if self.obs.enabled:
@@ -581,6 +774,7 @@ class Engine:
         obs = self.obs
         round_idx = self.server.round_idx
         obs.begin_round(round_idx)
+        self._reset_fault_round()
         timings: Dict[str, float] = {}
 
         obs.begin_phase("sample")
@@ -602,7 +796,15 @@ class Engine:
         t = self._end_phase("local_train", timings, t, n_updates=len(updates))
 
         obs.begin_phase("aggregate")
-        self._phase_aggregate(round_idx, updates)
+        skip_reason = self._quorum_skip_reason(selected, updates)
+        if skip_reason is None:
+            self._phase_aggregate(round_idx, updates)
+        else:
+            # Graceful degradation: keep the global model, record why, and
+            # advance the round (apply_updates rejects empty sets, so the
+            # aggregate phase is bypassed entirely).
+            self.server.reset_report()
+            self.server.skip_round(reason=skip_reason)
         t = self._end_phase(
             "aggregate", timings, t,
             dropped=len(self.server.last_dropped),
@@ -634,6 +836,78 @@ class Engine:
             _log.info("[%s] early stop: %s", self.strategy.name, self._stop_reason)
         self._fire("on_fit_end", self.history)
         return self.history
+
+    # ------------------------------------------------------------------
+    # crash-safe snapshot / resume
+    # ------------------------------------------------------------------
+    def _client_state_snapshot(self) -> Dict[int, Dict[str, Any]]:
+        snapshot = getattr(self.clients, "state_snapshot", None)
+        if snapshot is not None:
+            # Lazy directory: only touched clients carry state; untouched
+            # ones re-materialize deterministically from their factory.
+            return snapshot()
+        return {c.id: copy.deepcopy(c.state) for c in self.clients}
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Everything needed to resume this run byte-identically.
+
+        Covers the mutable run state: global weights, strategy server
+        state, per-client strategy state, History, the round counters and
+        the virtual clock.  Nothing RNG-shaped is saved *by design* —
+        every random draw in the system (sampling, client batching, fault
+        coins, adversaries) derives statelessly from ``(seed, purpose,
+        round, ...)`` through the RngStream tree, so round N+1's draws are
+        identical whether rounds 0..N ran in this process or a dead one.
+        Callback-internal state (e.g. ``EarlyStopping`` patience counters)
+        is *not* captured — a resumed run re-accumulates it from the
+        resume point.
+        """
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "cell_key": getattr(self, "_cell_key", None),
+            "round_idx": self.server.round_idx,
+            "skipped_rounds": self.server.skipped_rounds,
+            "global_flat": np.array(self.server.flat_weights, copy=True),
+            "server_state": copy.deepcopy(self.server.state),
+            "client_states": self._client_state_snapshot(),
+            "history_records": copy.deepcopy(self.history.records),
+            "stop_reason": self._stop_reason,
+            "system_round_times": (
+                list(self.system_model.round_times)
+                if self.system_model is not None else None
+            ),
+            "virtual_time_s": self._virtual_time_s,
+        }
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        """Load a :meth:`snapshot` back into a freshly built engine.
+
+        The engine must have been constructed from the same experiment
+        (same spec/seed/data) — :func:`run_experiment` enforces that via
+        the snapshot's ``cell_key``.  After restoring, :meth:`run`
+        continues from the next round exactly as an uninterrupted run
+        would have.
+        """
+        fmt = snapshot.get("format")
+        if fmt != SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"unsupported engine snapshot format {fmt!r} "
+                f"(this build reads format {SNAPSHOT_FORMAT})"
+            )
+        if len(self.history):
+            raise ValueError("restore() requires a freshly built engine")
+        np.copyto(self.server.flat_weights, snapshot["global_flat"])
+        self.server.state = copy.deepcopy(snapshot["server_state"])
+        self.server.round_idx = int(snapshot["round_idx"])
+        self.server.skipped_rounds = int(snapshot["skipped_rounds"])
+        for client_id, state in snapshot["client_states"].items():
+            self._adopt_state(int(client_id), copy.deepcopy(state))
+        for record in snapshot["history_records"]:
+            self.history.append(record)
+        self._stop_reason = snapshot["stop_reason"]
+        if self.system_model is not None and snapshot["system_round_times"] is not None:
+            self.system_model.round_times = list(snapshot["system_round_times"])
+        self._virtual_time_s = snapshot["virtual_time_s"]
 
     # ------------------------------------------------------------------
     # inspection / lifecycle
@@ -679,6 +953,7 @@ def run_experiment(
     callbacks: Iterable[Callback] = (),
     progress: bool = False,
     data: Optional[FederatedData] = None,
+    resume_from: Optional[str] = None,
 ) -> History:
     """Train one :class:`~repro.api.spec.ExperimentSpec` and return its history.
 
@@ -691,6 +966,15 @@ def run_experiment(
     ``spec.build_data()`` — a cache hook for callers training many methods
     on one partition; the caller is responsible for it actually matching
     the spec's data fields.
+
+    ``resume_from`` names an engine snapshot written by
+    :class:`~repro.api.callbacks.Checkpointer` (``engine_state=True``):
+    the snapshot is restored into the freshly built engine and training
+    continues from the next round, producing a History byte-identical to
+    the uninterrupted run.  The snapshot's recorded ``cell_key`` must
+    match this spec's — resuming under different experiment parameters is
+    an error, not a silent divergence.  Sync mode only (the event-driven
+    engines carry in-flight queue state that a crash loses).
     """
     engine = build_mode(
         spec.mode,
@@ -698,7 +982,22 @@ def run_experiment(
         data=data if data is not None else spec.build_data(),
         callbacks=callbacks,
     )
+    # Stamped onto snapshots so a resume can prove it targets the same
+    # experiment cell (the key hashes every behaviour-bearing spec field).
+    engine._cell_key = spec.cell_key()
     try:
+        if resume_from is not None:
+            from repro.io.persistence import load_engine_snapshot
+
+            snapshot = load_engine_snapshot(resume_from)
+            stored = snapshot.get("cell_key")
+            if stored is not None and stored != engine._cell_key:
+                raise ValueError(
+                    f"snapshot {resume_from!r} was written by experiment cell "
+                    f"{stored}, but this spec is cell {engine._cell_key}; "
+                    "resume requires the identical experiment"
+                )
+            engine.restore(snapshot)
         return engine.run(progress=progress)
     finally:
         engine.close()

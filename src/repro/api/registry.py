@@ -273,6 +273,10 @@ def _sync_mode(spec, data, callbacks):
         agg_block_size=spec.agg_block_size,
         state_mmap_mb=spec.state_mmap_mb,
         recorder=spec.build_recorder(),
+        fault_injector=spec.build_fault_injector(),
+        task_retries=spec.task_retries,
+        task_timeout_s=spec.task_timeout_s,
+        quorum_fraction=spec.quorum_fraction,
     )
 
 
@@ -302,6 +306,10 @@ def _event_driven_mode(spec, data, callbacks, mode: str):
         adversary=spec.build_adversary(),
         agg_block_size=spec.agg_block_size,
         recorder=spec.build_recorder(),
+        fault_injector=spec.build_fault_injector(),
+        task_retries=spec.task_retries,
+        task_timeout_s=spec.task_timeout_s,
+        quorum_fraction=spec.quorum_fraction,
     )
 
 

@@ -125,6 +125,31 @@ class ExperimentSpec:
     adversary_fraction: float = 0.0
     #: attack-specific arguments, e.g. {"gamma": 5.0} or {"sigma": 0.5}.
     adversary_kwargs: Pairs = ()
+    # -- fault tolerance (repro.fl.faults) -----------------------------------
+    #: fault-injector registry name ("crash" | "crash_mid_train" |
+    #: "corrupt" | "straggler" | "worker_death"); None = no injected
+    #: faults.  Faults are per-(client, round, attempt) coin flips, so
+    #: they compose with population mode (no fleet enumeration).
+    fault: Optional[str] = None
+    #: per-task firing probability of the fault; must be positive iff a
+    #: fault is set.
+    fault_rate: float = 0.0
+    #: fault-specific arguments, e.g. {"mode": "truncate"} or
+    #: {"max_delay_s": 30.0}.
+    fault_kwargs: Pairs = ()
+    #: retry budget per client task per round: retryable failures are
+    #: re-dispatched up to this many times, re-drawing the fault coin per
+    #: attempt and pricing exponential backoff on the virtual clock.
+    task_retries: int = 0
+    #: per-task report deadline in simulated seconds: an injected
+    #: straggler delay beyond this becomes a "timeout" failure.  Requires
+    #: a fault (only injected delays can exceed it).
+    task_timeout_s: Optional[float] = None
+    #: synchronous quorum: aggregate only when >= ceil(fraction * K) of
+    #: the K-cohort delivered usable updates, else skip the round (global
+    #: model kept, skip_reason recorded).  In async mode the fraction
+    #: applies to the aggregation buffer size instead.
+    quorum_fraction: float = 0.0
     # -- population scale (repro.fl.population) ------------------------------
     #: virtual fleet size; None = the eager roster (one Client per data
     #: shard).  When set, client ids live in [0, population_size) and map
@@ -168,6 +193,9 @@ class ExperimentSpec:
             self, "adversary_kwargs",
             _as_pairs(self.adversary_kwargs, "adversary_kwargs"),
         )
+        object.__setattr__(
+            self, "fault_kwargs", _as_pairs(self.fault_kwargs, "fault_kwargs")
+        )
         # A knob that silently does nothing would change the experiment the
         # user believes they ran (same philosophy as from_dict's unknown-key
         # rejection), so mode-inapplicable fields are errors, not no-ops.
@@ -205,6 +233,44 @@ class ExperimentSpec:
             raise ValueError(
                 "adversary_kwargs without an adversary do nothing; "
                 "set adversary= to an attack model"
+            )
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError(
+                f"fault_rate must be in [0, 1], got {self.fault_rate}"
+            )
+        if self.fault is not None and self.fault_rate == 0.0:
+            raise ValueError(
+                f"fault={self.fault!r} with fault_rate=0 never fires; "
+                "set a positive rate"
+            )
+        if self.fault is None and self.fault_rate != 0.0:
+            raise ValueError(
+                "fault_rate without a fault does nothing; set fault= to an "
+                "injector name"
+            )
+        if self.fault is None and self.fault_kwargs:
+            raise ValueError(
+                "fault_kwargs without a fault do nothing; set fault= to an "
+                "injector name"
+            )
+        if self.task_retries < 0:
+            raise ValueError(
+                f"task_retries must be >= 0, got {self.task_retries}"
+            )
+        if self.task_timeout_s is not None:
+            if self.task_timeout_s <= 0:
+                raise ValueError(
+                    f"task_timeout_s must be positive, got {self.task_timeout_s}"
+                )
+            if self.fault is None:
+                raise ValueError(
+                    "task_timeout_s measures injected report delays; without "
+                    "a fault no task can ever exceed it — set fault= (e.g. "
+                    "'straggler')"
+                )
+        if not 0.0 <= self.quorum_fraction <= 1.0:
+            raise ValueError(
+                f"quorum_fraction must be in [0, 1], got {self.quorum_fraction}"
             )
         if self.agg_block_size is not None and self.agg_block_size < 1:
             raise ValueError(
@@ -261,6 +327,7 @@ class ExperimentSpec:
         d["sampler_kwargs"] = dict(self.sampler_kwargs)
         d["aggregator_kwargs"] = dict(self.aggregator_kwargs)
         d["adversary_kwargs"] = dict(self.adversary_kwargs)
+        d["fault_kwargs"] = dict(self.fault_kwargs)
         return d
 
     # Legacy ``ExperimentCell`` spelling, kept for the sweep store.
@@ -396,6 +463,19 @@ class ExperimentSpec:
             fraction=self.adversary_fraction,
             seed=self.seed,
             **dict(self.adversary_kwargs),
+        )
+
+    def build_fault_injector(self):
+        """The seeded fault injector, or ``None`` when no fault is set."""
+        if self.fault is None:
+            return None
+        from repro.fl.faults import build_fault
+
+        return build_fault(
+            self.fault,
+            rate=self.fault_rate,
+            seed=self.seed,
+            **dict(self.fault_kwargs),
         )
 
     def build_recorder(self):

@@ -34,6 +34,7 @@ from repro.api import (
     available_samplers,
     run_experiment,
 )
+from repro.fl.faults import available_faults
 from repro.fl.systems import NETWORK_PRESETS
 from repro.data import available_datasets, get_spec, heterogeneity_summary
 from repro.io import save_history
@@ -107,6 +108,29 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
                    metavar="KEY=VALUE",
                    help="attack parameter, repeatable (e.g. gamma=5 for "
                         "sign_flip/scale, sigma=0.5 for gauss_noise)")
+    p.add_argument("--fault", default=None, choices=available_faults(),
+                   help="deterministic fault injector applied to client "
+                        "tasks (requires --fault-rate > 0); see "
+                        "repro.fl.faults")
+    p.add_argument("--fault-rate", type=float, default=0.0, dest="fault_rate",
+                   help="per-(client, round, attempt) probability that the "
+                        "injector fires")
+    p.add_argument("--fault-arg", action="append", default=[],
+                   metavar="KEY=VALUE",
+                   help="fault parameter, repeatable (e.g. mode=truncate "
+                        "for corrupt, max_delay_s=30 for straggler)")
+    p.add_argument("--task-retries", type=int, default=0, dest="task_retries",
+                   help="retry budget per client task; retries are re-drawn "
+                        "fault coins and re-priced on the virtual clock "
+                        "with exponential backoff")
+    p.add_argument("--task-timeout-s", type=float, default=None,
+                   dest="task_timeout_s",
+                   help="injected report delays beyond this many simulated "
+                        "seconds count as task timeouts (requires --fault)")
+    p.add_argument("--quorum-fraction", type=float, default=0.0,
+                   dest="quorum_fraction",
+                   help="skip aggregation (recording why) when fewer than "
+                        "this fraction of the cohort reports successfully")
     p.add_argument("--population-size", type=int, default=None,
                    dest="population_size",
                    help="virtual fleet size: client ids in [0, N) map onto "
@@ -184,6 +208,12 @@ def _spec_from_args(args, method: Optional[str] = None,
         adversary=args.adversary,
         adversary_fraction=args.adversary_fraction,
         adversary_kwargs=_parse_kv(args.adversary_arg),
+        fault=getattr(args, "fault", None),
+        fault_rate=getattr(args, "fault_rate", 0.0),
+        fault_kwargs=_parse_kv(getattr(args, "fault_arg", [])),
+        task_retries=getattr(args, "task_retries", 0),
+        task_timeout_s=getattr(args, "task_timeout_s", None),
+        quorum_fraction=getattr(args, "quorum_fraction", 0.0),
         population_size=getattr(args, "population_size", None),
         agg_block_size=getattr(args, "agg_block_size", None),
         state_mmap_mb=getattr(args, "state_mmap_mb", None),
@@ -194,7 +224,18 @@ def _spec_from_args(args, method: Optional[str] = None,
 
 def cmd_train(args) -> int:
     spec = _spec_from_args(args, mu=args.mu)
-    hist = run_experiment(spec)
+    callbacks = []
+    if args.checkpoint_dir:
+        from repro.api.callbacks import Checkpointer
+
+        callbacks.append(
+            Checkpointer(
+                args.checkpoint_dir,
+                every=args.checkpoint_every,
+                engine_state=True,
+            )
+        )
+    hist = run_experiment(spec, callbacks=callbacks, resume_from=args.resume_from)
     print(f"method={spec.method} dataset={spec.dataset} model={spec.model} "
           f"sampler={spec.sampler}")
     if spec.aggregator != "mean" or spec.adversary is not None:
@@ -213,6 +254,11 @@ def cmd_train(args) -> int:
     if skipped or dropped or screened:
         print(f"agg health    : {skipped} skipped round(s), "
               f"{len(dropped)} dropped, {len(screened)} screened update(s)")
+    failed = hist.failed_client_ids()
+    retried = hist.retried_client_ids()
+    if failed or retried:
+        print(f"fault policy  : {len(retried)} retry dispatch(es), "
+              f"{len(failed)} terminal task failure(s)")
     simulated = [r.virtual_time_s for r in hist.records if r.virtual_time_s is not None]
     if simulated:
         print(f"simulated time: {simulated[-1] / 3600.0:.3f} h "
@@ -286,6 +332,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--target-accuracy", type=float, default=None, dest="target_accuracy",
                    help="stop training once this test accuracy %% is reached")
     p.add_argument("--out", default=None, help="save history JSON here")
+    p.add_argument("--checkpoint-dir", default=None, dest="checkpoint_dir",
+                   help="write model checkpoints plus a crash-safe engine "
+                        "snapshot (latest.ckpt) into this directory")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   dest="checkpoint_every",
+                   help="checkpoint every N rounds (default: only at the end)")
+    p.add_argument("--resume-from", default=None, dest="resume_from",
+                   metavar="SNAPSHOT",
+                   help="resume from an engine snapshot (latest.ckpt); the "
+                        "spec must describe the same experiment cell")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("compare", help="train several methods")

@@ -41,8 +41,8 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -59,7 +59,7 @@ from repro.utils.logging import get_logger
 from repro.utils.rng import RngStream
 
 from repro.api.callbacks import Callback
-from repro.api.engine import Engine
+from repro.api.engine import RETRY_BACKOFF_BASE_S, Engine
 
 __all__ = ["AsyncFLEngine"]
 
@@ -129,6 +129,10 @@ class AsyncFLEngine(Engine):
         adversary=None,
         agg_block_size: Optional[int] = None,
         recorder=None,
+        fault_injector=None,
+        task_retries: int = 0,
+        task_timeout_s: Optional[float] = None,
+        quorum_fraction: float = 0.0,
     ) -> None:
         # All validation happens before super().__init__ builds the
         # executor — raising afterwards would leak a spawned worker pool.
@@ -187,6 +191,8 @@ class AsyncFLEngine(Engine):
             sampler=sampler, n_workers=n_workers, executor=executor,
             callbacks=callbacks, aggregator=aggregator, adversary=adversary,
             agg_block_size=agg_block_size, recorder=recorder,
+            fault_injector=fault_injector, task_retries=task_retries,
+            task_timeout_s=task_timeout_s, quorum_fraction=quorum_fraction,
         )
         self.timing = timing
         self.mode = mode
@@ -251,27 +257,74 @@ class AsyncFLEngine(Engine):
             )
             self._busy.add(client_id)
         for task, result in zip(tasks, self.executor.run(tasks)):
-            if result.obs is not None:
-                # Process-pool worker shard, merged in task order.
-                self.obs.absorb(result.obs)
-            duration = self.timing.duration_s(
-                task.client_id, result.update.flops, result.update.comm_bytes
-            )
-            self.events.push(
-                Event(
-                    self.clock.now + duration,
-                    task.client_id,
-                    payload=_InFlight(result, version, self.clock.now),
-                )
-            )
+            self._file_result(task, result, version)
 
-    def _arrive(self, event: Event) -> None:
-        """Advance the clock to the event, adopt the client's new strategy
-        state, and buffer the update with its measured staleness."""
+    def _file_result(self, task: ClientTaskSpec, result: TaskResult,
+                     version: int) -> None:
+        """Screen one dispatch result under the failure policy, retrying
+        eagerly (each retry re-runs the single task through the executor,
+        with exponential backoff accumulated onto the client's simulated
+        finish time), then file the finish event.
+
+        A terminal failure files a *failure marker* — an event whose
+        in-flight result still carries the failure: when it pops, the
+        client is freed at the failure's virtual time but nothing is
+        buffered, so stragglers/crashes delay only themselves, never the
+        server.  Event-time bookkeeping is all virtual; no wall sleeping.
+        """
+        if result.obs is not None:
+            # Process-pool worker shard, merged in task order.
+            self.obs.absorb(result.obs)
+        backoff_s = 0.0
+        failure = self._screen_result(task, result)
+        while failure is not None and failure.retryable and task.attempt < self.task_retries:
+            if result.state is not None:
+                # Timeout: the device trained; keep its state for the retry.
+                self._adopt_state(task.client_id, result.state)
+            self._round_retried.append(task.client_id)
+            backoff_s += RETRY_BACKOFF_BASE_S * (2.0 ** task.attempt)
+            task = replace(
+                task,
+                state=self.clients[task.client_id].state,
+                attempt=task.attempt + 1,
+            )
+            result = self.executor.run([task])[0]
+            if result.obs is not None:
+                self.obs.absorb(result.obs)
+            failure = self._screen_result(task, result)
+        if failure is not None:
+            self._round_failed.append(task.client_id)
+            if result.state is not None:
+                self._adopt_state(task.client_id, result.state)
+            # The worker slot is held for the failed attempt's base latency
+            # (no compute/transfer made it) plus any backoff already spent.
+            duration = self.timing.duration_s(task.client_id, 0.0, 0.0)
+        else:
+            duration = (
+                self.timing.duration_s(
+                    task.client_id, result.update.flops, result.update.comm_bytes
+                )
+                + result.fault_delay_s
+            )
+        self.events.push(
+            Event(
+                self.clock.now + duration + backoff_s,
+                task.client_id,
+                payload=_InFlight(result, version, self.clock.now),
+            )
+        )
+
+    def _arrive(self, event: Event) -> bool:
+        """Advance the clock to the event and process it: a success adopts
+        the client's new strategy state and buffers the update with its
+        measured staleness (returns True); a failure marker only frees the
+        client (returns False)."""
         self.clock.advance_to(event.time_s)
         inflight: _InFlight = event.payload
         client_id = event.client_id
         self._busy.discard(client_id)
+        if inflight.result.failure is not None:
+            return False
         self._adopt_state(client_id, inflight.result.state)
         self._fire("on_client_update", self.server.round_idx, inflight.result.update)
         self._buffer.append(
@@ -281,6 +334,7 @@ class AsyncFLEngine(Engine):
                 arrived_s=event.time_s,
             )
         )
+        return True
 
     def _refill_async(self) -> List[int]:
         """Keep ``clients_per_round`` clients training: fill idle slots with
@@ -391,12 +445,30 @@ class AsyncFLEngine(Engine):
         server.round_idx += 1
 
     # ------------------------------------------------------------------
+    # crash-safe resume: unsupported here
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        raise ValueError(
+            "crash-safe snapshot/resume supports mode='sync' only: the "
+            "event-driven modes hold in-flight results and virtual-clock "
+            "events that a crash necessarily loses"
+        )
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        raise ValueError(
+            "crash-safe snapshot/resume supports mode='sync' only: the "
+            "event-driven modes hold in-flight results and virtual-clock "
+            "events that a crash necessarily loses"
+        )
+
+    # ------------------------------------------------------------------
     # the event-driven round
     # ------------------------------------------------------------------
     def run_round(self) -> RoundRecord:
         t0 = time.perf_counter()
         round_idx = self.server.round_idx
         self.obs.begin_round(round_idx)
+        self._reset_fault_round()
         timings: Dict[str, float] = {}
         t = t0
 
@@ -417,15 +489,21 @@ class AsyncFLEngine(Engine):
                 if event is None:
                     break
                 self._arrive(event)
-            if not self._buffer:
+            while not self._buffer and len(self.events):
                 # Deadline expired with zero arrivals: production servers
                 # extend the round to the first report rather than abort.
+                # (Failure markers free clients but don't report, hence the
+                # loop; a fully drained queue means every in-flight task
+                # failed terminally and the round degrades to a skip.)
                 self._arrive(self.events.pop())
-            elif len(self._buffer) < self.buffer_size and math.isfinite(deadline):
+            if (self._buffer and len(self._buffer) < self.buffer_size
+                    and math.isfinite(deadline) and self.clock.now < deadline):
                 # A real deadline cut the round short: the server waited it
                 # out.  (Without a deadline a short buffer means the sampler
                 # offered fewer clients than K — e.g. heavy dropout — and the
-                # clock stays at the last arrival.)
+                # clock stays at the last arrival; after an extended round
+                # the first report already landed past the deadline and the
+                # clock must not rewind to it.)
                 self.clock.advance_to(deadline)
             batch = self._take_batch()
             t = self._end_phase(
@@ -433,7 +511,14 @@ class AsyncFLEngine(Engine):
                 arrived=len(batch), virtual_s=self.clock.now,
             )
             self.obs.begin_phase("aggregate")
-            self._phase_aggregate(round_idx, [a.update for a in batch])
+            skip_reason = self._quorum_skip_reason(
+                selected, [a.update for a in batch]
+            )
+            if skip_reason is None:
+                self._phase_aggregate(round_idx, [a.update for a in batch])
+            else:
+                self.server.reset_report()
+                self.server.skip_round(reason=skip_reason)
             t = self._end_phase(
                 "aggregate", timings, t,
                 n_updates=len(batch), virtual_s=self.clock.now,
@@ -445,7 +530,10 @@ class AsyncFLEngine(Engine):
             self._fire("on_round_start", round_idx, selected)
             t = time.perf_counter()  # callbacks don't bill to any phase
             self.obs.begin_phase("local_train")
-            while len(self._buffer) < self.buffer_size:
+            while len(self._buffer) < self.buffer_size and len(self.events):
+                # Failure markers pop without buffering; a drained queue
+                # (every in-flight task failed terminally) ends the wait —
+                # the freed slots refill with fresh fault draws next round.
                 self._arrive(self.events.pop())
             batch = self._take_batch()
             t = self._end_phase(
@@ -453,7 +541,17 @@ class AsyncFLEngine(Engine):
                 arrived=len(batch), virtual_s=self.clock.now,
             )
             self.obs.begin_phase("aggregate")
-            self._apply_async(round_idx, batch)
+            skip_reason = None
+            if self._policy_active:
+                if not batch:
+                    skip_reason = "no_updates"
+                elif len(batch) < math.ceil(self.quorum_fraction * self.buffer_size):
+                    skip_reason = "quorum"
+            if skip_reason is None:
+                self._apply_async(round_idx, batch)
+            else:
+                self.server.reset_report()
+                self.server.skip_round(reason=skip_reason)
             t = self._end_phase(
                 "aggregate", timings, t,
                 n_updates=len(batch), virtual_s=self.clock.now,

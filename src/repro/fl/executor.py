@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.algorithms.base import ClientRoundContext, Strategy
 from repro.fl.client import Client, run_client_round
+from repro.fl.faults import FaultInjector, TaskFailure
 from repro.fl.params import ParamPlane
 from repro.fl.robust.adversaries import Adversary
 from repro.fl.types import ClientUpdate, FLConfig
@@ -126,6 +127,9 @@ class ClientTaskSpec:
     scheduler-observed staleness of this client (server versions since its
     last dispatch) when an event-driven mode runs the round; ``None`` in
     the synchronous mode, where staleness is round arithmetic.
+    ``attempt`` counts retries of this task under the engine's failure
+    policy (0 = first dispatch); the fault injector keys its coin on it,
+    so a retried task re-draws its fate deterministically.
     """
 
     client_id: int
@@ -134,6 +138,7 @@ class ClientTaskSpec:
     preamble_flops: float = 0.0
     emulate_seconds: float = 0.0
     xi_measured: Optional[float] = None
+    attempt: int = 0
 
 
 @dataclass
@@ -144,11 +149,23 @@ class TaskResult:
     records + metric deltas, plain picklable dicts) when the run has
     tracing/metrics enabled; ``None`` otherwise and for in-process
     backends, which record straight into the engine's recorder.
+
+    A *failed* task carries a :class:`~repro.fl.faults.TaskFailure` in
+    ``failure`` instead of a usable update: ``update`` is then ``None``
+    (or, for corruption faults, the mangled payload kept for inspection —
+    never aggregated) and ``state`` is ``None`` when the client's state was
+    never touched.  ``fault_delay_s`` is a straggler injector's extra
+    simulated report latency (virtual clock only — no wall sleep);
+    ``flops_wasted`` is compute burned by a mid-train crash, surfaced
+    through obs but never billed to the cost model.
     """
 
-    update: ClientUpdate
-    state: Dict[str, Any]
+    update: Optional[ClientUpdate]
+    state: Optional[Dict[str, Any]]
     obs: Optional[Dict[str, Any]] = None
+    failure: Optional[TaskFailure] = None
+    fault_delay_s: float = 0.0
+    flops_wasted: float = 0.0
 
 
 @dataclass
@@ -183,6 +200,14 @@ class TaskRuntime:
     #: path every backend shares, so the attack composes identically with
     #: serial/threaded/process executors and sync/semisync/async modes.
     adversary: Optional[Adversary] = None
+    #: optional :class:`~repro.fl.faults.FaultInjector` failing tasks at the
+    #: same choke point — also shared by every backend, so a fixed seed
+    #: produces the identical failure pattern on all of them.
+    fault_injector: Optional[FaultInjector] = None
+    #: True only inside a process-pool worker (set by ``_init_worker``);
+    #: lets the worker-death fault actually kill the process there while
+    #: in-process backends synthesize the equivalent failure.
+    in_pool_worker: bool = False
     #: observability sink for per-task spans/metrics (see :mod:`repro.obs`).
     #: In-process backends share the engine's recorder (thread-safe); each
     #: process-pool worker gets its own shard recorder whose output pickles
@@ -261,6 +286,18 @@ def execute_task(task: ClientTaskSpec, worker: WorkerContext, runtime: TaskRunti
     """
     recorder = runtime.recorder
     t_start = time.perf_counter() if recorder.enabled else 0.0
+    injector = runtime.fault_injector
+    fault_fires = injector is not None and injector.fires(
+        task.client_id, task.round_idx, task.attempt
+    )
+    if fault_fires:
+        failed = injector.pre_train(task, runtime)
+        if failed is not None:
+            # Crash-style fault: no training happened, no state changed —
+            # the same no-op on the in-place serial backend and the
+            # copy-shipping process backend, which is what keeps retries
+            # byte-identical across them.
+            return failed
     if task.emulate_seconds > 0.0:
         time.sleep(task.emulate_seconds)
     client = runtime.clients[task.client_id]
@@ -285,7 +322,13 @@ def execute_task(task: ClientTaskSpec, worker: WorkerContext, runtime: TaskRunti
             bytes_up=upload_nbytes(update),
             staleness=task.xi_measured,
         )
-    return TaskResult(update=update, state=ctx.state)
+    result = TaskResult(update=update, state=ctx.state)
+    if fault_fires:
+        # Straggler-style fault: training was honest, only the simulated
+        # report time stretches.  Whether the delay becomes a timeout
+        # failure is the engine's policy call, not the worker's.
+        result.fault_delay_s = injector.delay_s(task)
+    return result
 
 
 class SerialExecutor:

@@ -99,6 +99,22 @@ class History:
             out.extend(r.screened_clients)
         return out
 
+    def failed_client_ids(self) -> List[int]:
+        """Every id whose task failed terminally under the failure policy,
+        in round order (with repeats)."""
+        out: List[int] = []
+        for r in self.records:
+            out.extend(r.failed_clients)
+        return out
+
+    def retried_client_ids(self) -> List[int]:
+        """Every retry dispatch, in round order — a client retried twice in
+        one round appears twice."""
+        out: List[int] = []
+        for r in self.records:
+            out.extend(r.retried_clients)
+        return out
+
     def phase_seconds_totals(self) -> Dict[str, float]:
         """Total wall seconds per engine phase, summed across rounds.
 

@@ -41,6 +41,7 @@ pickle by value and survive process-pool round trips unchanged.
 
 from __future__ import annotations
 
+import copy
 import os
 import tempfile
 import threading
@@ -325,6 +326,17 @@ class ClientDirectory:
         """How many clients have actually been built — the number the
         memory ceiling scales with (O(touched), never O(population))."""
         return len(self._clients)
+
+    def state_snapshot(self) -> Dict[int, Dict[str, Any]]:
+        """Deep copies of every materialized client's state dict, keyed by
+        client id — the directory's contribution to an engine snapshot.
+        Untouched clients have no state yet (their factory state is
+        deterministic), so O(touched) is also the full resume payload."""
+        with self._lock:
+            return {
+                cid: copy.deepcopy(client.state)
+                for cid, client in sorted(self._clients.items())
+            }
 
     def close(self) -> None:
         self._clients.clear()

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass, replace
+from time import monotonic
 from multiprocessing import get_all_start_methods, get_context, shared_memory
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -48,6 +49,7 @@ from repro.fl.executor import (
     execute_task,
     make_optimizer,
 )
+from repro.fl.faults import FaultInjector, TaskFailure
 # WeightLayout's home is repro.fl.params since the flat-parameter refactor;
 # re-exported here for backward compatibility.
 from repro.fl.params import ParamPlane, WeightLayout
@@ -91,6 +93,12 @@ class ProcessWorkerSpec:
     #: absorbs them in task order so merged metrics are deterministic.
     obs_enabled: bool = False
     obs_spans: bool = False
+    #: optional deterministic fault injector (repro.fl.faults) — stateless
+    #: (seed + name + kwargs), so pickling ships the exact coin streams the
+    #: in-process backends draw from.  Workers flag ``in_pool_worker`` on
+    #: their runtime so process-only faults (worker death) know they may
+    #: actually kill the hosting process.
+    fault_injector: Optional[FaultInjector] = None
     #: filled in by ProcessExecutor.__init__, never by the engine
     layout: Optional[WeightLayout] = None
     shm_name: str = ""
@@ -185,6 +193,8 @@ def _init_worker(spec: ProcessWorkerSpec) -> None:
         global_weights=views,
         global_flat=flat_view,
         adversary=spec.adversary,
+        fault_injector=spec.fault_injector,
+        in_pool_worker=True,
     )
     if spec.obs_enabled:
         _RUNTIME.recorder = WorkerShardRecorder(with_spans=spec.obs_spans)
@@ -220,6 +230,12 @@ class ProcessExecutor:
     mp_start_method:
         ``"fork"`` / ``"spawn"`` / ``"forkserver"``; default prefers
         ``fork`` where available (no re-import cost), else ``spawn``.
+    death_grace_s:
+        How long :meth:`run` waits, after observing a pool worker die and
+        with no further task completing, before writing the missing results
+        off as ``worker_death`` task failures.  ``multiprocessing.Pool``
+        silently respawns dead workers but never completes the task the
+        victim was holding, so without this ``run`` would hang forever.
     """
 
     name = "process"
@@ -230,6 +246,7 @@ class ProcessExecutor:
         initial_weights: Sequence[np.ndarray],
         n_workers: int = 2,
         mp_start_method: Optional[str] = None,
+        death_grace_s: float = 5.0,
     ) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
@@ -254,6 +271,8 @@ class ProcessExecutor:
         ctx = get_context(mp_start_method)
         spec = replace(spec, shm_name=self._shm.name, layout=layout)
         self._pool = ctx.Pool(n_workers, initializer=_init_worker, initargs=(spec,))
+        self._death_grace_s = death_grace_s
+        self._known_pids = self._live_pids()
         self._closed = False
 
     @property
@@ -305,8 +324,75 @@ class ProcessExecutor:
                 pass
             self._payload_shm = None
 
+    def _live_pids(self) -> set:
+        """Pids of currently-alive pool workers.
+
+        Reads the pool's worker roster (``Pool`` keeps it in ``_pool``);
+        the roster mutates under us when the pool's maintenance thread
+        respawns a dead worker, so snapshot it before filtering.
+        """
+        return {p.pid for p in list(self._pool._pool) if p.is_alive()}
+
     def run(self, tasks: Sequence[ClientTaskSpec]) -> List[TaskResult]:
-        return self._pool.map(_run_task, [(t, self._payload_ref) for t in tasks])
+        """Run ``tasks`` on the pool, surviving worker deaths.
+
+        Dispatches one ``apply_async`` per task (instead of ``Pool.map``,
+        which blocks forever if a worker dies holding a task) and polls for
+        completions.  When the worker roster changes mid-round, the task a
+        dead worker was executing can never complete; once no further task
+        has completed for ``death_grace_s`` seconds, every still-pending
+        task is synthesized as a ``worker_death``
+        :class:`~repro.fl.faults.TaskFailure` so the engine's retry/quorum
+        policy decides what happens next.  The pool itself respawns
+        replacement workers automatically (and each replacement re-runs the
+        initializer), so later rounds run at full width again.
+        """
+        jobs = [
+            self._pool.apply_async(_run_task, ((t, self._payload_ref),))
+            for t in tasks
+        ]
+        results: List[Optional[TaskResult]] = [None] * len(jobs)
+        pending = list(range(len(jobs)))
+        last_progress = monotonic()
+        death_seen = False
+        while pending:
+            still: List[int] = []
+            for i in pending:
+                if jobs[i].ready():
+                    results[i] = jobs[i].get()
+                    last_progress = monotonic()
+                else:
+                    still.append(i)
+            pending = still
+            if not pending:
+                break
+            current = self._live_pids()
+            if current != self._known_pids:
+                death_seen = True
+                self._known_pids = current
+            if death_seen and monotonic() - last_progress > self._death_grace_s:
+                for i in pending:
+                    task = tasks[i]
+                    # Drop the orphaned job from the pool's result cache:
+                    # a job that never completes would otherwise pin the
+                    # pool's shutdown (join waits for an empty cache).  If
+                    # the result does arrive later the handler ignores the
+                    # unknown job id.
+                    self._pool._cache.pop(jobs[i]._job, None)
+                    results[i] = TaskResult(
+                        update=None,
+                        state=None,
+                        failure=TaskFailure(
+                            kind="worker_death",
+                            client_id=task.client_id,
+                            round_idx=task.round_idx,
+                            attempt=task.attempt,
+                            detail="pool worker died before reporting",
+                        ),
+                    )
+                break
+            jobs[pending[0]].wait(0.05)
+        return results  # type: ignore[return-value]  # every slot is filled
 
     def close(self) -> None:
         if self._closed:

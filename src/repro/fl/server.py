@@ -86,6 +86,7 @@ class Server:
         self.last_dropped: List[int] = []
         self.last_screened: List[int] = []
         self.last_skipped = False
+        self.last_skip_reason: Optional[str] = None
 
     @property
     def weights(self) -> List[np.ndarray]:
@@ -126,6 +127,7 @@ class Server:
         self.last_dropped = []
         self.last_screened = []
         self.last_skipped = False
+        self.last_skip_reason = None
 
     def partition_finite(self, updates: Sequence[ClientUpdate]) -> List[ClientUpdate]:
         """The non-finite drop policy, shared by every aggregation path
@@ -142,13 +144,17 @@ class Server:
                          self.round_idx, len(updates) - len(healthy), bad)
         return healthy
 
-    def skip_round(self) -> None:
-        """Abandon the current aggregation (every update was bad): keep the
-        global model, count the event, and advance the version."""
-        _log.error("round %d: every client update was non-finite; "
-                   "keeping previous global model", self.round_idx)
+    def skip_round(self, reason: str = "non_finite") -> None:
+        """Abandon the current aggregation: keep the global model, count the
+        event, record why (``"non_finite"`` — every surviving update was
+        bad; ``"quorum"`` — too few clients reported under the failure
+        policy; ``"no_updates"`` — nobody reported at all), and advance the
+        version."""
+        _log.error("round %d: skipping aggregation (%s); "
+                   "keeping previous global model", self.round_idx, reason)
         self.skipped_rounds += 1
         self.last_skipped = True
+        self.last_skip_reason = reason
         self.round_idx += 1
 
     def apply_updates(self, updates: Sequence[ClientUpdate]) -> None:

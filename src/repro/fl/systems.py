@@ -116,20 +116,32 @@ class SystemModel:
         self.round_times: List[RoundTime] = []
 
     # ------------------------------------------------------------------
-    def observe(self, updates: Sequence[ClientUpdate], global_weights) -> None:
-        """Update-observer hook: compute this round's simulated duration."""
+    def observe(self, updates: Sequence[ClientUpdate], global_weights,
+                extra_s: float = 0.0) -> None:
+        """Update-observer hook: compute this round's simulated duration.
+
+        ``extra_s`` is additional simulated time the round spent outside
+        client compute/transfer — injected straggler delays and retry
+        backoff under the engine's failure policy — folded into the
+        round's total so the virtual clock prices fault handling.
+        """
         times = []
         for u in updates:
             prof = self.profiles[u.client_id]
             t = prof.compute_time(u.flops) + prof.transfer_time(u.comm_bytes)
             times.append((t, prof.compute_time(u.flops), prof.transfer_time(u.comm_bytes), u.client_id))
-        total, comp, comm, who = max(times)
+        if times:
+            total, comp, comm, who = max(times)
+        else:
+            # A skipped round (quorum/no-updates): nobody reported, but the
+            # cohort still burned the failure-handling time.
+            total, comp, comm, who = 0.0, 0.0, 0.0, -1
         self.round_times.append(
             RoundTime(
                 round_idx=len(self.round_times),
                 compute_s=comp,
                 comm_s=comm,
-                total_s=total,
+                total_s=total + float(extra_s),
                 straggler=who,
             )
         )

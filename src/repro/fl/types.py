@@ -171,6 +171,14 @@ class RoundRecord:
     distinct from "an adversary attacked but none were sampled", which is
     ``[]``).
 
+    Fault-tolerance fields: ``failed_clients`` are the ids whose task
+    failed *terminally* this round (crash/corrupt/timeout/worker-death
+    after the retry budget, non-retryable failures immediately);
+    ``retried_clients`` records one id per retry dispatch, so a client
+    retried twice appears twice.  ``skip_reason`` says why a skipped round
+    was skipped (``"quorum"``, ``"no_updates"``, ``"non_finite"``); always
+    ``None`` on aggregated rounds.
+
     ``phase_seconds`` breaks ``wall_seconds`` down by engine phase
     (``sample``/``broadcast``/``preamble``/``local_train``/``aggregate``/
     ``evaluate`` in sync mode; the event-driven modes record the phases
@@ -194,6 +202,9 @@ class RoundRecord:
     adversary_clients: Optional[List[int]] = None
     round_skipped: bool = False
     phase_seconds: Optional[Dict[str, float]] = None
+    failed_clients: List[int] = field(default_factory=list)
+    retried_clients: List[int] = field(default_factory=list)
+    skip_reason: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -221,4 +232,7 @@ class RoundRecord:
                 dict(self.phase_seconds)
                 if self.phase_seconds is not None else None
             ),
+            "failed_clients": list(self.failed_clients),
+            "retried_clients": list(self.retried_clients),
+            "skip_reason": self.skip_reason,
         }

@@ -3,8 +3,17 @@
 * Histories serialize to JSON (human-diffable, cite-able from docs).
 * Model checkpoints serialize to ``.npz`` via the state dict (exact
   float32 round-trip).
+* Engine snapshots (:func:`save_engine_snapshot`) pickle the full
+  crash-safe resume state produced by ``Engine.snapshot()``.
 * :class:`ExperimentStore` organizes a directory of runs keyed by a
   config-derived name, so sweeps can resume / skip completed cells.
+
+Every writer here is **atomic**: payloads land in a ``*.tmp`` sibling
+first and are published with ``os.replace``, so a reader (or a resumed
+run) never observes a half-written file even if the writer is killed
+mid-write.  That is the property the crash-safe resume contract leans
+on — ``latest.ckpt`` is either the previous complete snapshot or the
+next complete snapshot, never a torn hybrid.
 """
 
 from __future__ import annotations
@@ -12,7 +21,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Dict, Optional
+import pickle
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -24,15 +34,41 @@ __all__ = [
     "load_history",
     "save_checkpoint",
     "load_checkpoint",
+    "save_engine_snapshot",
+    "load_engine_snapshot",
     "ExperimentStore",
 ]
 
 
-def save_history(history: History, path: str) -> str:
-    """Write a history to JSON; returns the path."""
+def _atomic_publish(tmp_path: str, path: str) -> None:
+    """Move a fully-written temp file into place (atomic on POSIX)."""
+    os.replace(tmp_path, path)
+
+
+def _atomic_write_bytes(path: str, blob: bytes) -> None:
+    """Write ``blob`` to ``path`` via a ``*.tmp`` sibling + ``os.replace``."""
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-    with open(path, "w") as fh:
-        json.dump(history.to_dict(), fh, indent=2)
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        _atomic_publish(tmp, path)
+    except BaseException:
+        # Leave no droppings on the failure path (including KeyboardInterrupt
+        # mid-write — the whole point of the exercise).
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def save_history(history: History, path: str) -> str:
+    """Write a history to JSON (atomically); returns the path."""
+    blob = json.dumps(history.to_dict(), indent=2).encode("utf-8")
+    _atomic_write_bytes(path, blob)
     return path
 
 
@@ -62,21 +98,40 @@ def load_history(path: str) -> History:
                 round_skipped=bool(rec.get("round_skipped", False)),
                 # Per-phase wall breakdown postdates the format as well.
                 phase_seconds=rec.get("phase_seconds"),
+                # Fault-tolerance fields postdate the format as well.
+                failed_clients=list(rec.get("failed_clients", [])),
+                retried_clients=list(rec.get("retried_clients", [])),
+                skip_reason=rec.get("skip_reason"),
             )
         )
     return hist
 
 
 def save_checkpoint(model, path: str, metadata: Optional[Dict] = None) -> str:
-    """Write a model's state dict (plus optional JSON metadata) to .npz."""
-    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    """Write a model's state dict (plus optional JSON metadata) to .npz.
+
+    Atomic: ``np.savez`` targets a temp file which is then renamed over
+    ``path``.  (``savez`` appends ``.npz`` when the target lacks the
+    suffix, so the temp path carries it explicitly.)
+    """
+    final = path if path.endswith(".npz") else path + ".npz"
+    os.makedirs(os.path.dirname(final) or ".", exist_ok=True)
     state = model.state_dict()
     arrays = {f"param/{k}": v for k, v in state.items()}
     arrays["__meta__"] = np.frombuffer(
         json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
     )
-    np.savez(path, **arrays)
-    return path if path.endswith(".npz") else path + ".npz"
+    tmp = final + ".tmp.npz"
+    try:
+        np.savez(tmp, **arrays)
+        _atomic_publish(tmp, final)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return final
 
 
 def load_checkpoint(model, path: str) -> Dict:
@@ -88,6 +143,24 @@ def load_checkpoint(model, path: str) -> Dict:
         meta_bytes = bytes(data["__meta__"].tobytes()) if "__meta__" in data.files else b"{}"
     model.load_state_dict(state)
     return json.loads(meta_bytes.decode("utf-8"))
+
+
+def save_engine_snapshot(path: str, snapshot: Dict[str, Any]) -> str:
+    """Persist an ``Engine.snapshot()`` dict (atomically); returns the path.
+
+    The snapshot is an opaque pickle: it mixes numpy arrays, per-client
+    strategy state trees and plain history records, and is only ever read
+    back by :func:`load_engine_snapshot` on the same codebase.
+    """
+    blob = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+    _atomic_write_bytes(path, blob)
+    return path
+
+
+def load_engine_snapshot(path: str) -> Dict[str, Any]:
+    """Read a snapshot written by :func:`save_engine_snapshot`."""
+    with open(path, "rb") as fh:
+        return pickle.load(fh)
 
 
 class ExperimentStore:
@@ -123,8 +196,8 @@ class ExperimentStore:
     def put(self, key: str, history: History, config: Optional[Dict] = None) -> None:
         hist_path, cfg_path = self._paths(key)
         save_history(history, hist_path)
-        with open(cfg_path, "w") as fh:
-            json.dump(config or {}, fh, indent=2, default=str)
+        blob = json.dumps(config or {}, indent=2, default=str).encode("utf-8")
+        _atomic_write_bytes(cfg_path, blob)
 
     def get(self, key: str) -> History:
         if not self.has(key):

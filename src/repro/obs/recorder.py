@@ -300,7 +300,7 @@ class Recorder:
             i["evals"].inc()
         if record.round_skipped:
             m.counter("fl_rounds_skipped_total",
-                      "rounds abandoned (every update non-finite)").inc()
+                      "rounds abandoned (non-finite updates or quorum not met)").inc()
         i["aggregated"].inc(len(record.selected))
         i["cohort"].observe(len(record.selected))
         i["round_s"].observe(record.wall_seconds)
@@ -313,6 +313,17 @@ class Recorder:
         if record.dropped_clients:
             m.counter("fl_clients_dropped_total",
                       "clients shed by the finite check").inc(len(record.dropped_clients))
+        if record.failed_clients:
+            m.counter("fl_clients_failed_total",
+                      "clients whose task failed terminally (fault policy)").inc(
+                len(record.failed_clients))
+        if record.retried_clients:
+            m.counter("fl_clients_retried_total",
+                      "client task retry dispatches (fault policy)").inc(
+                len(record.retried_clients))
+            m.histogram("fl_task_retries_per_round",
+                        "retry dispatches per round").observe(
+                len(record.retried_clients))
         if record.screened_clients:
             m.counter("fl_clients_screened_total",
                       "clients excluded by a robust rule").inc(len(record.screened_clients))

@@ -53,6 +53,27 @@ def pytest_addoption(parser):
              "test must still pass)",
     )
     parser.addoption(
+        "--fault",
+        default=None,
+        choices=["crash", "crash_mid_train", "corrupt", "straggler", "worker_death"],
+        help="deterministic fault injector the fault-sensitive smoke tests "
+             "run with (CI reruns tier-1 with --fault crash --fault-rate "
+             "0.2 --task-retries 2 to keep the failure policy continuously "
+             "exercised)",
+    )
+    parser.addoption(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="per-(client, round, attempt) fire probability for --fault",
+    )
+    parser.addoption(
+        "--task-retries",
+        type=int,
+        default=0,
+        help="retry budget the fault-sensitive smoke tests run with",
+    )
+    parser.addoption(
         "--run-tier2",
         action="store_true",
         default=False,
@@ -106,6 +127,20 @@ def device_profile_name(request):
 def aggregator_name(request):
     """The aggregation rule selected with ``--aggregator`` (default: mean)."""
     return request.config.getoption("--aggregator")
+
+
+@pytest.fixture(scope="session")
+def fault_options(request):
+    """The (fault, fault_rate, task_retries) triple selected on the CLI.
+
+    ``fault`` defaults to None, so the fault-sensitive smoke tests run the
+    clean path unless CI opts into an injector.
+    """
+    return (
+        request.config.getoption("--fault"),
+        request.config.getoption("--fault-rate"),
+        request.config.getoption("--task-retries"),
+    )
 
 
 @pytest.fixture

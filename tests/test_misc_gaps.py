@@ -101,6 +101,7 @@ class TestRoundRecordDict:
             "wall_seconds", "virtual_time_s", "update_staleness",
             "dropped_clients", "screened_clients", "adversary_clients",
             "round_skipped", "phase_seconds",
+            "failed_clients", "retried_clients", "skip_reason",
         }
         # Virtual-clock fields default to None so sync-without-profile
         # histories serialize exactly as before (modulo the new keys).

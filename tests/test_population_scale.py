@@ -317,7 +317,9 @@ class TestAggregatorInvariants:
         if name in K1_EXACT:
             assert np.array_equal(out, mat[0])
         else:
-            np.testing.assert_allclose(out, mat[0], rtol=1e-12, atol=0)
+            # rtol leaves headroom for the rescale's multiply/divide round-off
+            # (hypothesis has found panels a shade past 1e-12).
+            np.testing.assert_allclose(out, mat[0], rtol=1e-10, atol=0)
 
     def test_every_aggregator_is_classified(self):
         """Completeness gate: a newly registered rule inherits the invariant
