@@ -72,10 +72,13 @@ __all__ = ["Engine", "run_experiment", "make_optimizer"]
 
 _log = get_logger("api.engine")
 
-#: first retry waits this many *simulated* seconds, doubling per attempt
-#: (attempt n is preceded by base * 2**(n-1)).  A constant, not a knob:
-#: retry pricing must be identical everywhere for cross-backend identity,
-#: and the virtual clock is observational anyway.
+#: default base of the retry backoff curve: the first retry waits this
+#: many *simulated* seconds, doubling per attempt (attempt n is preceded
+#: by base * 2**(n-1)).  Promoted from constant to the validated
+#: ``ExperimentSpec.retry_backoff_base_s`` knob; this default reproduces
+#: the historical constant byte-for-byte.  The same base seeds the network
+#: workers' reconnect backoff so retry pricing and redial pacing share one
+#: curve.
 RETRY_BACKOFF_BASE_S = 1.0
 
 #: engine snapshot format written by :meth:`Engine.snapshot`.
@@ -216,6 +219,8 @@ class Engine:
         task_retries: int = 0,
         task_timeout_s: Optional[float] = None,
         quorum_fraction: float = 0.0,
+        retry_backoff_base_s: float = RETRY_BACKOFF_BASE_S,
+        net_options: Optional[Dict[str, Any]] = None,
     ) -> None:
         if task_retries < 0:
             raise ValueError("task_retries must be >= 0")
@@ -223,6 +228,8 @@ class Engine:
             raise ValueError("task_timeout_s must be positive when set")
         if not 0.0 <= quorum_fraction <= 1.0:
             raise ValueError("quorum_fraction must be in [0, 1]")
+        if retry_backoff_base_s <= 0:
+            raise ValueError("retry_backoff_base_s must be positive")
         if config.n_clients != data.n_clients:
             raise ValueError(
                 f"config.n_clients={config.n_clients} but data has {data.n_clients} shards"
@@ -338,6 +345,10 @@ class Engine:
         self.task_retries = int(task_retries)
         self.task_timeout_s = task_timeout_s
         self.quorum_fraction = float(quorum_fraction)
+        self.retry_backoff_base_s = float(retry_backoff_base_s)
+        #: network-executor options (bind, fleet, injector, codec, cell_key);
+        #: stored before build_executor so the factory can read them.
+        self.net_options = net_options
         #: True when any failure-policy knob is on.  The screens and the
         #: quorum gate only engage then, so legacy runs (no policy) keep
         #: their exact historical behaviour — including aggregator-side
@@ -363,6 +374,12 @@ class Engine:
             recorder=self.obs,
         )
         self.executor = build_executor(executor, engine=self, n_workers=n_workers)
+        if getattr(self.executor, "inherently_unreliable", False):
+            # A real wire can lose tasks even with no injector configured;
+            # keep the failure screens and the quorum gate armed so a lost
+            # connection degrades into a policy decision, not a crash on an
+            # empty aggregate.
+            self._policy_active = True
         self.history = History()
         self.callbacks: List[Callback] = list(callbacks)
         if config.target_accuracy is not None and not any(
@@ -511,7 +528,7 @@ class Engine:
             if wave > 0:
                 # Retry wave n is preceded by exponential backoff, priced
                 # on the virtual clock (no wall sleep).
-                self._round_fault_extra_s += RETRY_BACKOFF_BASE_S * (2.0 ** (wave - 1))
+                self._round_fault_extra_s += self.retry_backoff_base_s * (2.0 ** (wave - 1))
             next_pending: List[ClientTaskSpec] = []
             wave_delay = 0.0
             for task, result in zip(pending, self.executor.run(pending)):
@@ -933,6 +950,12 @@ class Engine:
         return self._load_global(self._model_fn())
 
     def close(self) -> None:
+        """Release the executor, observability sinks and scratch memory.
+
+        Idempotent: callbacks and ``with`` blocks may both reach it."""
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
         # Finalize observability first: derived gauges (rounds/sec) and the
         # metrics exposition file want the run complete but the scratch
         # pool's peak still intact.
@@ -946,6 +969,12 @@ class Engine:
         directory_close = getattr(self.clients, "close", None)
         if directory_close is not None:
             directory_close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 def run_experiment(
@@ -985,7 +1014,7 @@ def run_experiment(
     # Stamped onto snapshots so a resume can prove it targets the same
     # experiment cell (the key hashes every behaviour-bearing spec field).
     engine._cell_key = spec.cell_key()
-    try:
+    with engine:
         if resume_from is not None:
             from repro.io.persistence import load_engine_snapshot
 
@@ -999,5 +1028,3 @@ def run_experiment(
                 )
             engine.restore(snapshot)
         return engine.run(progress=progress)
-    finally:
-        engine.close()

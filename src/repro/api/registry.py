@@ -206,6 +206,18 @@ def _process_executor(engine, n_workers: int) -> ProcessExecutor:
     )
 
 
+def _network_executor(engine, n_workers: int):
+    # Lazy import: the socket stack only loads when a run asks for it.
+    from repro.fl.net.coordinator import NetworkExecutor
+
+    _reject_preamble(engine, "network")
+    opts = dict(getattr(engine, "net_options", None) or {})
+    fleet = opts.pop("net_workers", None)
+    return NetworkExecutor(
+        engine, max(1, fleet if fleet is not None else n_workers), **opts
+    )
+
+
 def _auto_executor(engine, n_workers: int):
     """Historical default: serial on one worker, threads above."""
     if n_workers <= 1:
@@ -217,6 +229,7 @@ register_executor("auto", _auto_executor)
 register_executor("serial", _serial_executor)
 register_executor("threaded", _threaded_executor)
 register_executor("process", _process_executor)
+register_executor("network", _network_executor)
 
 
 # ---------------------------------------------------------------------------
@@ -277,6 +290,8 @@ def _sync_mode(spec, data, callbacks):
         task_retries=spec.task_retries,
         task_timeout_s=spec.task_timeout_s,
         quorum_fraction=spec.quorum_fraction,
+        retry_backoff_base_s=spec.retry_backoff_base_s,
+        net_options=spec.build_net_options(),
     )
 
 
@@ -310,6 +325,7 @@ def _event_driven_mode(spec, data, callbacks, mode: str):
         task_retries=spec.task_retries,
         task_timeout_s=spec.task_timeout_s,
         quorum_fraction=spec.quorum_fraction,
+        retry_backoff_base_s=spec.retry_backoff_base_s,
     )
 
 

@@ -83,8 +83,41 @@ class ExperimentSpec:
     sampler_kwargs: Pairs = ()
     n_workers: int = 1
     #: execution backend registry name ("auto" | "serial" | "threaded" |
-    #: "process"); "auto" = serial at n_workers<=1, threaded above.
+    #: "process" | "network"); "auto" = serial at n_workers<=1, threaded
+    #: above.
     executor: str = "auto"
+    # -- network executor (repro.fl.net) -------------------------------------
+    #: coordinator listen address for executor="network"; port 0 picks an
+    #: ephemeral port.  A loopback host means the executor spawns its own
+    #: worker subprocesses; any other host waits for externally started
+    #: ``python -m repro.fl.net.worker`` processes to register.
+    net_bind: str = "127.0.0.1:0"
+    #: worker connections the network round waits for; None = n_workers.
+    net_workers: Optional[int] = None
+    #: registration patience, per-task wall-clock ceiling, and empty-fleet
+    #: grace period (seconds) for the network executor.
+    net_connect_timeout_s: float = 20.0
+    #: worker liveness beacon cadence (seconds); a connection silent for
+    #: max(5 * heartbeat, 3.0) seconds while holding a task is declared dead.
+    net_heartbeat_s: float = 0.5
+    #: network fault injector registry name ("drop_frame" |
+    #: "duplicate_frame" | "delay_frame" | "truncate_frame" | "partition");
+    #: None = a clean wire.  Coins are seeded per frame like repro.fl.faults.
+    net_fault: Optional[str] = None
+    #: per-frame firing probability; must be positive iff net_fault is set.
+    net_fault_rate: float = 0.0
+    #: fault-specific arguments, e.g. {"max_delay_s": 0.5}.
+    net_fault_kwargs: Pairs = ()
+    #: upload wire codec ("topk" | "quantization"); workers then ship their
+    #: update as a compressed delta against the round broadcast.  Lossy —
+    #: trades the byte-identity contract for bytes on the wire.
+    net_codec: Optional[str] = None
+    #: codec-specific arguments, e.g. {"fraction": 0.05} or {"bits": 8}.
+    net_codec_kwargs: Pairs = ()
+    #: base of the exponential retry backoff curve (simulated seconds per
+    #: retry wave; also seeds the network workers' reconnect backoff).  The
+    #: default 1.0 reproduces the historical constant byte-for-byte.
+    retry_backoff_base_s: float = 1.0
     # -- server mode & simulated systems model ------------------------------
     #: server-mode registry name: "sync" (barrier rounds), "semisync"
     #: (deadline/buffer rounds) or "async" (staleness-decayed mixing), the
@@ -196,6 +229,14 @@ class ExperimentSpec:
         object.__setattr__(
             self, "fault_kwargs", _as_pairs(self.fault_kwargs, "fault_kwargs")
         )
+        object.__setattr__(
+            self, "net_fault_kwargs",
+            _as_pairs(self.net_fault_kwargs, "net_fault_kwargs"),
+        )
+        object.__setattr__(
+            self, "net_codec_kwargs",
+            _as_pairs(self.net_codec_kwargs, "net_codec_kwargs"),
+        )
         # A knob that silently does nothing would change the experiment the
         # user believes they ran (same philosophy as from_dict's unknown-key
         # rejection), so mode-inapplicable fields are errors, not no-ops.
@@ -253,6 +294,81 @@ class ExperimentSpec:
                 "fault_kwargs without a fault do nothing; set fault= to an "
                 "injector name"
             )
+        if self.retry_backoff_base_s <= 0:
+            raise ValueError(
+                f"retry_backoff_base_s must be positive, got "
+                f"{self.retry_backoff_base_s}"
+            )
+        if self.executor == "network":
+            if self.mode != "sync":
+                raise ValueError(
+                    "the network executor runs synchronous rounds only; the "
+                    "event-driven modes schedule on a virtual clock with no "
+                    "socket backend"
+                )
+            if self.net_workers is not None and self.net_workers < 1:
+                raise ValueError(
+                    f"net_workers must be >= 1, got {self.net_workers}"
+                )
+            if self.net_connect_timeout_s <= 0:
+                raise ValueError(
+                    f"net_connect_timeout_s must be positive, got "
+                    f"{self.net_connect_timeout_s}"
+                )
+            if self.net_heartbeat_s <= 0:
+                raise ValueError(
+                    f"net_heartbeat_s must be positive, got {self.net_heartbeat_s}"
+                )
+            if not 0.0 <= self.net_fault_rate <= 1.0:
+                raise ValueError(
+                    f"net_fault_rate must be in [0, 1], got {self.net_fault_rate}"
+                )
+            if self.net_fault is not None and self.net_fault_rate == 0.0:
+                raise ValueError(
+                    f"net_fault={self.net_fault!r} with net_fault_rate=0 never "
+                    "fires; set a positive rate"
+                )
+            if self.net_fault is None and self.net_fault_rate != 0.0:
+                raise ValueError(
+                    "net_fault_rate without a net_fault does nothing; set "
+                    "net_fault= to an injector name"
+                )
+            if self.net_fault is None and self.net_fault_kwargs:
+                raise ValueError(
+                    "net_fault_kwargs without a net_fault do nothing; set "
+                    "net_fault= to an injector name"
+                )
+            # Mirrors repro.fl.net.coordinator.WIRE_CODECS without importing
+            # the socket stack into every spec construction.
+            if self.net_codec is not None and self.net_codec not in (
+                "topk", "quantization"
+            ):
+                raise ValueError(
+                    f"unknown net_codec {self.net_codec!r}; available: "
+                    "['topk', 'quantization']"
+                )
+            if self.net_codec is None and self.net_codec_kwargs:
+                raise ValueError(
+                    "net_codec_kwargs without a net_codec do nothing; set "
+                    "net_codec= to 'topk' or 'quantization'"
+                )
+        else:
+            # Same philosophy as the mode checks above: a net_* knob on a
+            # non-network executor would silently describe a run that never
+            # happens.
+            defaults = {
+                "net_bind": "127.0.0.1:0", "net_workers": None,
+                "net_connect_timeout_s": 20.0, "net_heartbeat_s": 0.5,
+                "net_fault": None, "net_fault_rate": 0.0,
+                "net_fault_kwargs": (), "net_codec": None,
+                "net_codec_kwargs": (),
+            }
+            for name, default in defaults.items():
+                if getattr(self, name) != default:
+                    raise ValueError(
+                        f"{name} applies to the network executor; set "
+                        "executor='network'"
+                    )
         if self.task_retries < 0:
             raise ValueError(
                 f"task_retries must be >= 0, got {self.task_retries}"
@@ -328,6 +444,8 @@ class ExperimentSpec:
         d["aggregator_kwargs"] = dict(self.aggregator_kwargs)
         d["adversary_kwargs"] = dict(self.adversary_kwargs)
         d["fault_kwargs"] = dict(self.fault_kwargs)
+        d["net_fault_kwargs"] = dict(self.net_fault_kwargs)
+        d["net_codec_kwargs"] = dict(self.net_codec_kwargs)
         return d
 
     # Legacy ``ExperimentCell`` spelling, kept for the sweep store.
@@ -354,11 +472,21 @@ class ExperimentSpec:
 
         The observability outputs (``trace`` / ``metrics_out``) do not
         participate: where a run writes its spans does not change the
-        experiment being run, and existing store keys stay stable.
+        experiment being run, and existing store keys stay stable.  The
+        network *topology* knobs (bind address, fleet size, timeouts,
+        heartbeat cadence) are excluded for the same reason — the
+        determinism contract says they cannot change the History.  The
+        behavior-bearing network knobs (``net_fault*``, ``net_codec*``,
+        ``retry_backoff_base_s``) stay in: an injected partition or a lossy
+        codec is a different experiment.
         """
         d = self.to_dict()
         d.pop("trace")
         d.pop("metrics_out")
+        d.pop("net_bind")
+        d.pop("net_workers")
+        d.pop("net_connect_timeout_s")
+        d.pop("net_heartbeat_s")
         return ExperimentStore.key(d)
 
     # ------------------------------------------------------------------
@@ -477,6 +605,37 @@ class ExperimentSpec:
             seed=self.seed,
             **dict(self.fault_kwargs),
         )
+
+    def build_net_options(self) -> Optional[Dict[str, Any]]:
+        """Everything the ``network`` executor factory needs, or ``None``
+        for every other backend.
+
+        Includes :meth:`cell_key` because the engine does not otherwise
+        know its spec at executor-build time — the coordinator uses it to
+        refuse worker processes aimed at a different experiment.
+        """
+        if self.executor != "network":
+            return None
+        injector = None
+        if self.net_fault is not None:
+            from repro.fl.net.netfaults import build_netfault
+
+            injector = build_netfault(
+                self.net_fault,
+                rate=self.net_fault_rate,
+                seed=self.seed,
+                **dict(self.net_fault_kwargs),
+            )
+        return {
+            "bind": self.net_bind,
+            "net_workers": self.net_workers,
+            "connect_timeout_s": self.net_connect_timeout_s,
+            "heartbeat_s": self.net_heartbeat_s,
+            "injector": injector,
+            "codec": self.net_codec,
+            "codec_kwargs": dict(self.net_codec_kwargs),
+            "cell_key": self.cell_key(),
+        }
 
     def build_recorder(self):
         """The live :class:`repro.obs.Recorder`, or ``None`` when both

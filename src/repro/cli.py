@@ -131,6 +131,47 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
                    dest="quorum_fraction",
                    help="skip aggregation (recording why) when fewer than "
                         "this fraction of the cohort reports successfully")
+    p.add_argument("--retry-backoff-base-s", type=float, default=1.0,
+                   dest="retry_backoff_base_s",
+                   help="base of the exponential retry backoff curve in "
+                        "simulated seconds (also paces network-worker "
+                        "reconnects); default 1.0 matches the historical "
+                        "constant")
+    p.add_argument("--net-bind", default="127.0.0.1:0", dest="net_bind",
+                   metavar="HOST:PORT",
+                   help="coordinator listen address for --executor network; "
+                        "port 0 picks an ephemeral port, loopback hosts "
+                        "spawn worker subprocesses automatically")
+    p.add_argument("--net-workers", type=int, default=None, dest="net_workers",
+                   help="worker connections the network round waits for "
+                        "(default: --workers)")
+    p.add_argument("--net-connect-timeout-s", type=float, default=20.0,
+                   dest="net_connect_timeout_s",
+                   help="network registration patience / per-task wall-clock "
+                        "ceiling in seconds")
+    p.add_argument("--net-heartbeat-s", type=float, default=0.5,
+                   dest="net_heartbeat_s",
+                   help="worker liveness beacon cadence in seconds")
+    p.add_argument("--net-fault", default=None, dest="net_fault",
+                   help="deterministic wire fault for --executor network "
+                        "(drop_frame | duplicate_frame | delay_frame | "
+                        "truncate_frame | partition); requires "
+                        "--net-fault-rate > 0")
+    p.add_argument("--net-fault-rate", type=float, default=0.0,
+                   dest="net_fault_rate",
+                   help="per-frame probability that the wire fault fires")
+    p.add_argument("--net-fault-arg", action="append", default=[],
+                   metavar="KEY=VALUE", dest="net_fault_arg",
+                   help="wire-fault parameter, repeatable (e.g. "
+                        "max_delay_s=0.5 for delay_frame)")
+    p.add_argument("--net-codec", default=None, dest="net_codec",
+                   help="upload wire codec for --executor network (topk | "
+                        "quantization); lossy, trades byte-identity for "
+                        "bytes on the wire")
+    p.add_argument("--net-codec-arg", action="append", default=[],
+                   metavar="KEY=VALUE", dest="net_codec_arg",
+                   help="codec parameter, repeatable (e.g. fraction=0.05 "
+                        "for topk, bits=8 for quantization)")
     p.add_argument("--population-size", type=int, default=None,
                    dest="population_size",
                    help="virtual fleet size: client ids in [0, N) map onto "
@@ -214,6 +255,16 @@ def _spec_from_args(args, method: Optional[str] = None,
         task_retries=getattr(args, "task_retries", 0),
         task_timeout_s=getattr(args, "task_timeout_s", None),
         quorum_fraction=getattr(args, "quorum_fraction", 0.0),
+        retry_backoff_base_s=getattr(args, "retry_backoff_base_s", 1.0),
+        net_bind=getattr(args, "net_bind", "127.0.0.1:0"),
+        net_workers=getattr(args, "net_workers", None),
+        net_connect_timeout_s=getattr(args, "net_connect_timeout_s", 20.0),
+        net_heartbeat_s=getattr(args, "net_heartbeat_s", 0.5),
+        net_fault=getattr(args, "net_fault", None),
+        net_fault_rate=getattr(args, "net_fault_rate", 0.0),
+        net_fault_kwargs=_parse_kv(getattr(args, "net_fault_arg", [])),
+        net_codec=getattr(args, "net_codec", None),
+        net_codec_kwargs=_parse_kv(getattr(args, "net_codec_arg", [])),
         population_size=getattr(args, "population_size", None),
         agg_block_size=getattr(args, "agg_block_size", None),
         state_mmap_mb=getattr(args, "state_mmap_mb", None),

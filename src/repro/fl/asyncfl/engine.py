@@ -133,6 +133,7 @@ class AsyncFLEngine(Engine):
         task_retries: int = 0,
         task_timeout_s: Optional[float] = None,
         quorum_fraction: float = 0.0,
+        retry_backoff_base_s: float = RETRY_BACKOFF_BASE_S,
     ) -> None:
         # All validation happens before super().__init__ builds the
         # executor — raising afterwards would leak a spawned worker pool.
@@ -193,6 +194,7 @@ class AsyncFLEngine(Engine):
             agg_block_size=agg_block_size, recorder=recorder,
             fault_injector=fault_injector, task_retries=task_retries,
             task_timeout_s=task_timeout_s, quorum_fraction=quorum_fraction,
+            retry_backoff_base_s=retry_backoff_base_s,
         )
         self.timing = timing
         self.mode = mode
@@ -282,7 +284,7 @@ class AsyncFLEngine(Engine):
                 # Timeout: the device trained; keep its state for the retry.
                 self._adopt_state(task.client_id, result.state)
             self._round_retried.append(task.client_id)
-            backoff_s += RETRY_BACKOFF_BASE_S * (2.0 ** task.attempt)
+            backoff_s += self.retry_backoff_base_s * (2.0 ** task.attempt)
             task = replace(
                 task,
                 state=self.clients[task.client_id].state,

@@ -1,0 +1,82 @@
+"""Real-network federation: framed sockets behind the executor API.
+
+The package splits along trust-in-the-wire lines:
+
+* :mod:`~repro.fl.net.frames` — the pure, property-tested codec
+  (length-prefixed binary frames, CRC'd headers, seq dedupe);
+* :mod:`~repro.fl.net.netfaults` — deterministic seeded wire faults
+  (drop / duplicate / delay / truncate / partition);
+* :mod:`~repro.fl.net.transport` — one framed, countable, injectable
+  channel per TCP connection;
+* :mod:`~repro.fl.net.worker` — the client-worker process
+  (``python -m repro.fl.net.worker --connect host:port``): register,
+  serve rounds, reconnect with backoff;
+* :mod:`~repro.fl.net.coordinator` — the server plus
+  :class:`~repro.fl.net.coordinator.NetworkExecutor`, registered as
+  ``executor: "network"``.
+
+Determinism contract: a loopback network run at a fixed seed produces a
+History byte-identical to the serial executor — including under injected
+frame drops with retries enabled (see ``docs/networking.md``).
+
+Submodule attributes resolve lazily (PEP 562): ``python -m
+repro.fl.net.worker`` must not find the worker module pre-imported by its
+own package, and importing the pure codec must not drag in sockets.
+"""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing-time imports only
+    from repro.fl.net.coordinator import CoordinatorServer, NetworkExecutor, WIRE_CODECS
+    from repro.fl.net.frames import (
+        Frame,
+        FrameDecoder,
+        ProtocolError,
+        encode_frame,
+        pack_blob_payload,
+        unpack_blob_payload,
+    )
+    from repro.fl.net.netfaults import (
+        NetFaultInjector,
+        available_netfaults,
+        build_netfault,
+        register_netfault,
+    )
+    from repro.fl.net.transport import ChannelClosed, FramedChannel
+    from repro.fl.net.worker import NetWorkerSpec, WorkerClient
+
+_EXPORTS = {
+    "CoordinatorServer": "coordinator",
+    "NetworkExecutor": "coordinator",
+    "WIRE_CODECS": "coordinator",
+    "Frame": "frames",
+    "FrameDecoder": "frames",
+    "ProtocolError": "frames",
+    "encode_frame": "frames",
+    "pack_blob_payload": "frames",
+    "unpack_blob_payload": "frames",
+    "NetFaultInjector": "netfaults",
+    "available_netfaults": "netfaults",
+    "build_netfault": "netfaults",
+    "register_netfault": "netfaults",
+    "ChannelClosed": "transport",
+    "FramedChannel": "transport",
+    "NetWorkerSpec": "worker",
+    "WorkerClient": "worker",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(f"{__name__}.{module}"), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,467 @@
+"""The client-worker process: ``python -m repro.fl.net.worker --connect host:port``.
+
+One worker = one process = one coordinator connection.  The lifecycle:
+
+1. **register** — dial the coordinator, send ``HELLO`` (with the expected
+   ``cell_key``, if the operator passed one), receive ``WELCOME`` carrying
+   a picklable :class:`NetWorkerSpec` — the same build recipe idiom as
+   ``ProcessWorkerSpec``: dataset, strategy, config, registry model name —
+   and rebuild model/optimizer/clients locally with the engine's seeded
+   RNG streams, so a fixed seed yields byte-identical results no matter
+   which worker (or how many) served the round;
+2. **serve** — pump frames: ``BROADCAST`` installs the round's flat global
+   weights into a local buffer (one memcpy; the runtime's weight views
+   alias it), ``TASK`` runs one :class:`~repro.fl.executor.ClientTaskSpec`
+   through the shared :func:`~repro.fl.executor.execute_task` choke point
+   and uploads the result — raw flat bytes, or a top-k/quantization-coded
+   delta when the experiment asked for a wire codec;
+3. **re-register** — on any link failure (EOF, corrupted framing from an
+   injected truncation, coordinator restart) reconnect with exponential
+   backoff and serve again.  Built state is cached by ``cell_key``, so a
+   reconnect is cheap and, crucially, does not re-advance any RNG.
+
+Reliability bookkeeping that makes the transport faults invisible to the
+engine: a deduping decoder (fault-duplicated frames die at the codec), a
+small result cache keyed by the coordinator-assigned ``task_id`` (a
+re-sent task is answered from cache, never re-trained), and ``NEED_BCAST``
+NACKs (a task referencing a broadcast this worker never saw — the
+broadcast frame was dropped — triggers a resend instead of training on
+stale weights).  A daemon heartbeat thread beats every ``heartbeat_s``
+seconds so the coordinator's liveness detector can tell "slow" from
+"gone".
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import socket
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import Strategy
+from repro.data.federated import FederatedData
+from repro.fl.client import Client
+from repro.fl.compression import QuantizationCompressor, TopKCompressor
+from repro.fl.executor import TaskResult, TaskRuntime, WorkerContext, execute_task, make_optimizer
+from repro.fl.faults import FaultInjector
+from repro.fl.net import frames
+from repro.fl.net.frames import ProtocolError, unpack_blob_payload
+from repro.fl.net.transport import ChannelClosed, FramedChannel
+from repro.fl.params import WeightLayout
+from repro.fl.population import ClientDirectory, Population
+from repro.fl.robust.adversaries import Adversary
+from repro.fl.types import FLConfig
+from repro.models import build_model
+from repro.nn.losses import CrossEntropyLoss
+from repro.obs import WorkerShardRecorder
+from repro.utils.rng import RngStream
+
+__all__ = ["NetWorkerSpec", "WorkerClient", "main"]
+
+#: results remembered per worker so a re-sent task (its RESULT frame was
+#: dropped on the way up) is answered from cache instead of re-trained.
+_RESULT_CACHE_SIZE = 64
+
+
+@dataclass
+class NetWorkerSpec:
+    """Everything a network worker needs to rebuild its half of the engine.
+
+    The network twin of :class:`~repro.fl.process_executor.ProcessWorkerSpec`
+    (same fields, same rebuild semantics) minus shared memory — the global
+    weights arrive as ``BROADCAST`` frames instead — plus the wire-level
+    knobs (heartbeat cadence, optional upload codec) and the experiment's
+    ``cell_key`` so reconnecting workers can reuse cached state.  Crosses
+    the wire exactly once, pickled inside ``WELCOME``.
+    """
+
+    data: FederatedData
+    strategy: Strategy
+    config: FLConfig
+    model_name: str
+    opt_name: str
+    fp_flops: float
+    layout: WeightLayout
+    adversary: Optional[Adversary] = None
+    population: Optional[Population] = None
+    obs_enabled: bool = False
+    obs_spans: bool = False
+    fault_injector: Optional[FaultInjector] = None
+    cell_key: Optional[str] = None
+    heartbeat_s: float = 0.5
+    #: optional upload codec ("topk" / "quantization"): the worker ships a
+    #: coded *delta* against the round's broadcast instead of raw flat bytes.
+    codec: Optional[str] = None
+    codec_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+class _CorruptStream(Exception):
+    """A decoded frame's payload failed to deserialize — framing survived
+    but content did not (an injected truncation resynchronized the stream
+    onto garbage).  Treated exactly like a lost connection."""
+
+
+class _WorkerState:
+    """The rebuilt engine half: model, clients, runtime, weight buffer.
+
+    Built once per ``cell_key`` and reused across reconnects — rebuilding
+    would be wasteful but *not* wrong (every build draws from the same
+    seeded streams), which is what the cache test pins.
+    """
+
+    def __init__(self, spec: NetWorkerSpec) -> None:
+        self.spec = spec
+        layout = spec.layout
+        #: local stand-in for the process backend's shared segment: the
+        #: round's broadcast lands here with one flat copy and the
+        #: runtime's weight views alias it.
+        self._buf = bytearray(layout.total_bytes)
+        self._buf_u8 = np.frombuffer(self._buf, dtype=np.uint8)
+        views = layout.views(self._buf, writeable=False)
+        flat_view = layout.flat_view(self._buf, writeable=False) if layout.is_packed else None
+        self.flat_view = flat_view
+
+        data_spec = spec.data.spec
+        root = RngStream(spec.config.seed)
+
+        def model_fn():
+            return build_model(
+                spec.model_name,
+                data_spec.input_shape,
+                data_spec.num_classes,
+                rng=root.child("model-init").generator,
+            )
+
+        model = model_fn()
+        frozen = model_fn()
+        frozen.eval()
+        self.worker = WorkerContext(
+            model, frozen, make_optimizer(spec.opt_name, model, spec.config),
+            CrossEntropyLoss(),
+        )
+        if spec.population is not None:
+            clients = ClientDirectory(spec.population, spec.data, seed=spec.config.seed)
+        else:
+            clients = [
+                Client(k, spec.data.client_dataset(k), seed=spec.config.seed)
+                for k in range(spec.data.n_clients)
+            ]
+            if spec.adversary is not None:
+                spec.adversary.poison_clients(clients, data_spec.num_classes)
+        # in_pool_worker stays False on purpose: the worker_death fault
+        # *synthesizes* its failure here (like serial/threaded) instead of
+        # killing the process — a network worker is never respawned by a
+        # pool, so a real exit would permanently shrink the fleet and break
+        # cross-backend byte-identity.  Real deaths are the chaos test's job.
+        self.runtime = TaskRuntime(
+            clients=clients,
+            strategy=spec.strategy,
+            config=spec.config,
+            fp_flops=spec.fp_flops,
+            global_weights=views,
+            global_flat=flat_view,
+            adversary=spec.adversary,
+            fault_injector=spec.fault_injector,
+        )
+        if spec.obs_enabled:
+            self.runtime.recorder = WorkerShardRecorder(with_spans=spec.obs_spans)
+        #: version of the broadcast currently installed (0 = none yet).
+        self.bcast_ver = 0
+        #: task_id -> encoded RESULT payload, for re-sent tasks.
+        self.results: "OrderedDict[int, bytes]" = OrderedDict()
+
+    # -- round data ------------------------------------------------------
+    def install_broadcast(self, payload: bytes) -> None:
+        meta_blob, blob = unpack_blob_payload(payload)
+        try:
+            meta = pickle.loads(meta_blob)
+        except Exception as exc:
+            raise _CorruptStream(f"broadcast meta failed to unpickle: {exc}") from None
+        if len(blob) != self._buf_u8.size:
+            raise _CorruptStream(
+                f"broadcast blob is {len(blob)} bytes, layout needs {self._buf_u8.size}"
+            )
+        np.copyto(self._buf_u8, np.frombuffer(blob, dtype=np.uint8))
+        self.bcast_ver = int(meta["ver"])
+        self.runtime.server_broadcast = meta["payload"] or {}
+
+    def cache_result(self, task_id: int, payload: bytes) -> None:
+        self.results[task_id] = payload
+        while len(self.results) > _RESULT_CACHE_SIZE:
+            self.results.popitem(last=False)
+
+    # -- upload encoding -------------------------------------------------
+    def _make_codec(self, task):
+        name = (self.spec.codec or "").lower()
+        kwargs = dict(self.spec.codec_kwargs)
+        if name == "topk":
+            return TopKCompressor(**kwargs)
+        if name == "quantization":
+            # Stochastic rounding re-seeded per (client, round, attempt) so
+            # the coded bits are a pure function of the task, not of which
+            # worker served it or in what order.
+            seed = int(
+                RngStream(self.spec.config.seed)
+                .child("net-codec", task.client_id, task.round_idx, task.attempt)
+                .generator.integers(1 << 31)
+            )
+            return QuantizationCompressor(seed=seed, **kwargs)
+        raise ValueError(f"unknown net codec {self.spec.codec!r}")
+
+    def encode_result(self, task, result: TaskResult) -> Dict[str, Any]:
+        """The picklable wire form of one :class:`TaskResult`.
+
+        The flat weight vector travels as raw bytes (byte-identity) or as
+        a coded delta against this worker's installed broadcast (lossy,
+        opt-in); everything else — strategy state, extras, failure, obs
+        shard — pickles as-is.
+        """
+        recorder = self.runtime.recorder
+        if recorder.enabled:
+            result.obs = recorder.drain()
+        wire: Dict[str, Any] = {
+            "state": result.state,
+            "failure": result.failure,
+            "obs": result.obs,
+            "fault_delay_s": result.fault_delay_s,
+            "flops_wasted": result.flops_wasted,
+            "update": None,
+        }
+        update = result.update
+        if update is None:
+            return wire
+        meta = {
+            "client_id": update.client_id,
+            "num_samples": update.num_samples,
+            "train_loss": update.train_loss,
+            "extras": update.extras,
+            "flops": update.flops,
+            "comm_bytes": update.comm_bytes,
+        }
+        flat = update.flat_vector()
+        if flat is None:  # pragma: no cover - models here are uniform f32
+            wire["update"] = {"mode": "pickle", "update": update}
+        elif self.spec.codec is not None and self.flat_view is not None:
+            delta = np.asarray(flat, dtype=np.float32) - self.flat_view
+            enc, nbytes = self._make_codec(task).encode_flat(delta)
+            wire["update"] = {
+                "mode": "codec", "enc": enc, "wire_nbytes": float(nbytes), "meta": meta,
+            }
+        else:
+            wire["update"] = {
+                "mode": "flat", "blob": flat.tobytes(), "dtype": flat.dtype.str,
+                "meta": meta,
+            }
+        return wire
+
+
+#: built state cached across reconnects, keyed by the experiment cell.
+_STATE_CACHE: Dict[Optional[str], _WorkerState] = {}
+
+
+def build_worker_state(spec: NetWorkerSpec) -> _WorkerState:
+    """The (cached) rebuilt engine half for one experiment cell."""
+    key = spec.cell_key
+    state = _STATE_CACHE.get(key)
+    if state is None or key is None:
+        state = _WorkerState(spec)
+        _STATE_CACHE.clear()  # one experiment per worker process at a time
+        _STATE_CACHE[key] = state
+    return state
+
+
+class _Heartbeat:
+    """Daemon thread beating ``HEARTBEAT`` every ``interval_s`` seconds.
+
+    Shares the serve loop's channel; the channel's send lock makes the
+    interleaving safe.  Dies quietly with the channel."""
+
+    def __init__(self, chan: FramedChannel, interval_s: float) -> None:
+        self._chan = chan
+        self._interval_s = max(0.05, float(interval_s))
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="net-heartbeat", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            try:
+                self._chan.send_frame(frames.HEARTBEAT)
+            except ChannelClosed:
+                return
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+class WorkerClient:
+    """The connect / register / serve / re-register loop."""
+
+    def __init__(self, host: str, port: int, *,
+                 cell_key: Optional[str] = None,
+                 connect_timeout_s: float = 20.0,
+                 backoff_base_s: float = 0.05,
+                 max_reconnects: int = 8) -> None:
+        self.host = host
+        self.port = port
+        self.cell_key = cell_key
+        self.connect_timeout_s = float(connect_timeout_s)
+        self.backoff_base_s = float(backoff_base_s)
+        self.max_reconnects = int(max_reconnects)
+
+    # -- lifecycle -------------------------------------------------------
+    def run(self) -> int:
+        """Serve until the coordinator says ``BYE`` (0) or the link stays
+        dead through the reconnect budget (1)."""
+        attempt = 0
+        while True:
+            try:
+                chan = self._connect()
+                spec = self._register(chan)
+            except _Rejected:
+                return 1
+            except (OSError, ChannelClosed, ProtocolError, _CorruptStream):
+                attempt += 1
+                if attempt > self.max_reconnects:
+                    return 1
+                self._backoff(attempt)
+                continue
+            if spec is None:  # orderly BYE during registration
+                return 0
+            attempt = 0
+            state = build_worker_state(spec)
+            heartbeat = _Heartbeat(chan, spec.heartbeat_s)
+            try:
+                self._serve(chan, state)
+                return 0
+            except (ChannelClosed, ProtocolError, _CorruptStream):
+                attempt += 1
+                if attempt > self.max_reconnects:
+                    return 1
+                self._backoff(attempt)
+            finally:
+                heartbeat.stop()
+                chan.close()
+
+    def _backoff(self, attempt: int) -> None:
+        """Exponential reconnect backoff, reusing the engine's retry
+        pricing curve (``base * 2**(attempt-1)``) on the wall clock."""
+        time.sleep(min(self.backoff_base_s * (2.0 ** min(attempt - 1, 6)), 10.0))
+
+    def _connect(self) -> FramedChannel:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout_s
+        )
+        return FramedChannel(sock)
+
+    def _register(self, chan: FramedChannel) -> Optional[NetWorkerSpec]:
+        """HELLO / WELCOME handshake; returns the build recipe, ``None``
+        on an orderly BYE, raises :class:`_Rejected` on a refusal."""
+        chan.send_frame(frames.HELLO, pickle.dumps({
+            "cell_key": self.cell_key,
+            "reconnect": getattr(self, "_ever_registered", False),
+        }, protocol=pickle.HIGHEST_PROTOCOL))
+        deadline = time.monotonic() + self.connect_timeout_s
+        while time.monotonic() < deadline:
+            for frame in chan.recv_frames(timeout=0.2):
+                if frame.ftype == frames.WELCOME:
+                    self._ever_registered = True
+                    welcome = _loads(frame.payload)
+                    return welcome["spec"]
+                if frame.ftype == frames.BYE:
+                    reason = _loads(frame.payload).get("reason", "")
+                    if reason:
+                        raise _Rejected(reason)
+                    return None
+        raise ChannelClosed("no WELCOME within the connect timeout")
+
+    # -- serving ---------------------------------------------------------
+    def _serve(self, chan: FramedChannel, state: _WorkerState) -> None:
+        while True:
+            for frame in chan.recv_frames(timeout=0.5):
+                if frame.ftype == frames.BROADCAST:
+                    state.install_broadcast(frame.payload)
+                elif frame.ftype == frames.TASK:
+                    self._handle_task(chan, state, frame.payload)
+                elif frame.ftype == frames.BYE:
+                    return
+                # anything else (stray HEARTBEAT echoes) is ignored
+
+    def _handle_task(self, chan: FramedChannel, state: _WorkerState,
+                     payload: bytes) -> None:
+        job = _loads(payload)
+        task_id = int(job["task_id"])
+        cached = state.results.get(task_id)
+        if cached is not None:
+            # The TASK frame was re-sent because our RESULT got lost:
+            # answer from cache, never re-train (idempotence).
+            chan.send_frame(frames.RESULT, cached)
+            return
+        if int(job["ver"]) != state.bcast_ver:
+            # The broadcast this task trains against never arrived (its
+            # frame was dropped): NACK instead of training on stale weights.
+            chan.send_frame(frames.NEED_BCAST, pickle.dumps(
+                {"task_id": task_id}, protocol=pickle.HIGHEST_PROTOCOL
+            ))
+            return
+        result = execute_task(job["task"], state.worker, state.runtime)
+        wire = state.encode_result(job["task"], result)
+        blob = pickle.dumps(
+            {"task_id": task_id, "wire": wire}, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        state.cache_result(task_id, blob)
+        chan.send_frame(frames.RESULT, blob)
+
+
+class _Rejected(Exception):
+    """The coordinator refused registration (wrong cell_key)."""
+
+
+def _loads(payload: bytes):
+    """Unpickle a frame payload, converting deserialization failures into
+    the stream-corruption signal (reconnect, don't crash)."""
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise _CorruptStream(f"frame payload failed to unpickle: {exc}") from None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fl.net.worker",
+        description="Client-worker process for the network federation executor.",
+    )
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address to register with")
+    parser.add_argument("--cell-key", default=None,
+                        help="expected experiment cell key (registration is "
+                             "refused on mismatch)")
+    parser.add_argument("--connect-timeout-s", type=float, default=20.0)
+    parser.add_argument("--backoff-base-s", type=float, default=0.05,
+                        help="base of the exponential reconnect backoff")
+    parser.add_argument("--max-reconnects", type=int, default=8,
+                        help="consecutive failed (re)connects before giving up")
+    args = parser.parse_args(argv)
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        parser.error(f"--connect wants HOST:PORT, got {args.connect!r}")
+    client = WorkerClient(
+        host, int(port),
+        cell_key=args.cell_key,
+        connect_timeout_s=args.connect_timeout_s,
+        backoff_base_s=args.backoff_base_s,
+        max_reconnects=args.max_reconnects,
+    )
+    return client.run()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

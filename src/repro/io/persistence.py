@@ -30,6 +30,7 @@ from repro.fl.history import History
 from repro.fl.types import RoundRecord
 
 __all__ = [
+    "atomic_write_bytes",
     "save_history",
     "load_history",
     "save_checkpoint",
@@ -63,6 +64,12 @@ def _atomic_write_bytes(path: str, blob: bytes) -> None:
         except OSError:
             pass
         raise
+
+
+#: public spelling of the tmp+fsync+``os.replace`` writer — the one
+#: crash-safe write primitive every subsystem (histories, checkpoints,
+#: metrics exposition, span traces) routes through.
+atomic_write_bytes = _atomic_write_bytes
 
 
 def save_history(history: History, path: str) -> str:

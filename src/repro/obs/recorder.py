@@ -388,17 +388,14 @@ class Recorder:
         if self.exporter is not None:
             self.exporter.close()
         if self.metrics_path:
-            import os
+            # Lazy import: repro.obs must stay importable without repro.io.
+            from repro.io.persistence import atomic_write_bytes
 
-            directory = os.path.dirname(self.metrics_path)
-            if directory:
-                os.makedirs(directory, exist_ok=True)
             table = self.metrics.summary_table()
-            with open(self.metrics_path, "w") as fh:
-                fh.write(self.metrics.prometheus_text())
-                fh.write("\n# ---- end-of-run summary ----\n")
-                for line in table.splitlines():
-                    fh.write(f"# {line}\n")
+            parts = [self.metrics.prometheus_text(),
+                     "\n# ---- end-of-run summary ----\n"]
+            parts += [f"# {line}\n" for line in table.splitlines()]
+            atomic_write_bytes(self.metrics_path, "".join(parts).encode("utf-8"))
 
 
 class WorkerShardRecorder(NullRecorder):

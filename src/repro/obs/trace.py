@@ -96,6 +96,12 @@ class JsonlExporter:
     The recorder batches spans and lands them through :meth:`write_lines`
     (one write call per batch); :meth:`export` / :meth:`export_line` write
     single records for direct use.
+
+    Crash-safe: lines stream into a ``*.tmp`` sibling and :meth:`close`
+    publishes it with fsync + ``os.replace`` (the same primitive as
+    :func:`repro.io.persistence.atomic_write_bytes`).  A process killed
+    mid-write leaves only the ``.tmp`` — the trace path itself is either
+    absent or a complete, fully-flushed trace, never torn.
     """
 
     def __init__(self, path: str) -> None:
@@ -103,7 +109,8 @@ class JsonlExporter:
         if directory:
             os.makedirs(directory, exist_ok=True)
         self.path = path
-        self._fh: Optional[Any] = open(path, "w")
+        self._tmp = path + ".tmp"
+        self._fh: Optional[Any] = open(self._tmp, "w")
         self._lock = threading.Lock()
 
     def export(self, record: Dict[str, Any]) -> None:
@@ -125,5 +132,8 @@ class JsonlExporter:
     def close(self) -> None:
         with self._lock:
             if self._fh is not None:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
                 self._fh.close()
                 self._fh = None
+                os.replace(self._tmp, self.path)

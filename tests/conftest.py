@@ -13,9 +13,16 @@ def pytest_addoption(parser):
     parser.addoption(
         "--executor",
         default="serial",
-        choices=["auto", "serial", "threaded", "process"],
+        choices=["auto", "serial", "threaded", "process", "network"],
         help="execution backend the backend-sensitive smoke tests run on "
-             "(CI runs the suite once more with --executor process)",
+             "(CI runs the suite once more with --executor process and "
+             "again with --executor network --net-workers 2)",
+    )
+    parser.addoption(
+        "--net-workers",
+        type=int,
+        default=2,
+        help="loopback worker-subprocess count for --executor network",
     )
     parser.addoption(
         "--mode",
@@ -109,6 +116,12 @@ def pytest_collection_modifyitems(config, items):
 def executor_name(request):
     """The backend selected with ``--executor`` (default: serial)."""
     return request.config.getoption("--executor")
+
+
+@pytest.fixture(scope="session")
+def net_workers(request):
+    """Loopback fleet size selected with ``--net-workers`` (default: 2)."""
+    return request.config.getoption("--net-workers")
 
 
 @pytest.fixture(scope="session")
